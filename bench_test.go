@@ -1,0 +1,319 @@
+package bestpeer
+
+// One testing.B benchmark per table/figure of the paper's evaluation,
+// plus micro-benchmarks of the load-bearing components. Figure benches
+// run the deterministic simulator; each iteration regenerates the whole
+// figure. `go test -bench=. -benchmem` therefore reproduces every
+// experiment; `go run ./cmd/bpbench` prints the same data as tables.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/bench"
+	"bestpeer/internal/reconfig"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/wire"
+	"bestpeer/internal/workload"
+)
+
+// reportCompletion attaches the headline series values to the bench
+// output, so -bench runs show the reproduced numbers.
+func reportCompletion(b *testing.B, fig *bench.Figure) {
+	b.Helper()
+	for _, s := range fig.Series {
+		if len(s.Points) > 0 {
+			b.ReportMetric(s.Last().Y, s.Name+"_ms")
+		}
+	}
+}
+
+func BenchmarkFig5aStar(b *testing.B) {
+	cost := bench.DefaultCost()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.Fig5a(cost, 1)
+	}
+	reportCompletion(b, fig)
+}
+
+func BenchmarkFig5bTree(b *testing.B) {
+	cost := bench.DefaultCost()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.Fig5b(cost, 1)
+	}
+	reportCompletion(b, fig)
+}
+
+func BenchmarkFig5cLine(b *testing.B) {
+	cost := bench.DefaultCost()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.Fig5c(cost, 1)
+	}
+	reportCompletion(b, fig)
+}
+
+func BenchmarkFig6ResponseRate(b *testing.B) {
+	cost := bench.DefaultCost()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.Fig6(cost, 1)
+	}
+	// Report the time by which each scheme had heard from all nodes.
+	for _, s := range fig.Series {
+		b.ReportMetric(s.Last().X, s.Name+"_all31_ms")
+	}
+}
+
+func BenchmarkFig7Answers(b *testing.B) {
+	cost := bench.DefaultCost()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.Fig7(cost, 1)
+	}
+	for _, s := range fig.Series {
+		b.ReportMetric(s.Last().X, s.Name+"_lastanswer_ms")
+	}
+}
+
+func BenchmarkFig8aRuns(b *testing.B) {
+	cost := bench.DefaultCost()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.Fig8a(cost, 1)
+	}
+	bp := fig.SeriesByName("BP")
+	gnu := fig.SeriesByName("Gnutella")
+	b.ReportMetric(bp.Points[0].Y, "BP_run1_ms")
+	b.ReportMetric(bp.Last().Y, "BP_run4_ms")
+	b.ReportMetric(gnu.Last().Y, "GNU_ms")
+}
+
+func BenchmarkFig8bPeers(b *testing.B) {
+	cost := bench.DefaultCost()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.Fig8b(cost, 1)
+	}
+	reportCompletion(b, fig)
+}
+
+func BenchmarkAblationStrategies(b *testing.B) {
+	cost := bench.DefaultCost()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.AblationStrategies(cost, 1)
+	}
+	reportCompletion(b, fig)
+}
+
+func BenchmarkAblationCompression(b *testing.B) {
+	cost := bench.DefaultCost()
+	for i := 0; i < b.N; i++ {
+		bench.AblationCompression(cost, 1)
+	}
+}
+
+func BenchmarkAblationColdClass(b *testing.B) {
+	cost := bench.DefaultCost()
+	for i := 0; i < b.N; i++ {
+		bench.AblationColdClass(cost, 1)
+	}
+}
+
+func BenchmarkAblationResultMode(b *testing.B) {
+	cost := bench.DefaultCost()
+	for i := 0; i < b.N; i++ {
+		bench.AblationResultMode(cost, 1)
+	}
+}
+
+// BenchmarkBestPeerRound measures one simulated BestPeer query round on a
+// 32-node tree (the core protocol hot path).
+func BenchmarkBestPeerRound(b *testing.B) {
+	spec := workload.Default(1)
+	p := bench.Params{
+		Cost: bench.DefaultCost(), Spec: spec, Query: spec.Keyword(7), IncludeData: true,
+	}
+	tp := topology.Tree(32, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunBestPeer(tp, p, 1, reconfig.Static{})
+	}
+}
+
+// Micro-benchmarks of the substrates.
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	env := &wire.Envelope{
+		Kind: wire.KindAgent, ID: wire.NewMsgID(), TTL: 7,
+		From: "a:1", To: "b:2", Body: make([]byte, 2048),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.EncodeEnvelope(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.DecodeEnvelope(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStormPut(b *testing.B) {
+	store, err := storm.Open(filepath.Join(b.TempDir(), "b.storm"), storm.Options{BufferFrames: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	data := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := &storm.Object{Name: fmt.Sprintf("o%09d", i), Keywords: []string{"k"}, Data: data}
+		if _, err := store.Put(obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStormMatch1000(b *testing.B) {
+	// The paper's per-node operation: compare a keyword against 1000
+	// stored 1 KB objects.
+	store, err := storm.Open(filepath.Join(b.TempDir(), "m.storm"), storm.Options{BufferFrames: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	spec := workload.Default(1)
+	if err := spec.Populate(0, store); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Match(spec.Keyword(i % 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStormPolicies compares buffer replacement strategies under a
+// looping scan that exceeds the pool (the StorM ablation).
+func BenchmarkStormPolicies(b *testing.B) {
+	for _, policy := range []string{"lru", "mru", "fifo", "clock", "priority"} {
+		b.Run(policy, func(b *testing.B) {
+			store, err := storm.Open(filepath.Join(b.TempDir(), "p.storm"),
+				storm.Options{BufferFrames: 16, Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			data := make([]byte, 1024)
+			for i := 0; i < 100; i++ {
+				store.Put(&storm.Object{Name: fmt.Sprintf("o%03d", i), Data: data})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := store.Scan(func(*storm.Object) bool { return true }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(store.Pool().HitRate()*100, "hit%")
+		})
+	}
+}
+
+func BenchmarkFilterCompile(b *testing.B) {
+	const expr = "keyword=finance & (size>512 | name~report) & !data~draft"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.CompileFilter(expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAgentPacketRoundTrip(b *testing.B) {
+	ag := &agent.KeywordAgent{Query: "some keyword"}
+	state, _ := ag.State()
+	p := &agent.Packet{Class: ag.Class(), State: state, Base: "base:1", Mode: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		body := agent.EncodePacket(p)
+		if _, err := agent.DecodePacket(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBTreePut measures catalog insert throughput.
+func BenchmarkBTreePut(b *testing.B) {
+	store, err := storm.Open(filepath.Join(b.TempDir(), "bt.storm"),
+		storm.Options{BufferFrames: 256, PersistentCatalog: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	data := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Put(&storm.Object{Name: fmt.Sprintf("k%09d", i), Data: data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend measures logged-put throughput (no fsync).
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	store, err := storm.Open(filepath.Join(dir, "w.storm"),
+		storm.Options{BufferFrames: 256, WALPath: filepath.Join(dir, "w.wal")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	data := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Put(&storm.Object{Name: fmt.Sprintf("w%09d", i), Data: data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexedLookup compares a persistent-index keyword lookup with
+// a full scan on a 1000-object store.
+func BenchmarkIndexedLookup(b *testing.B) {
+	store, err := storm.Open(filepath.Join(b.TempDir(), "ix.storm"),
+		storm.Options{BufferFrames: 512, PersistentIndex: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	spec := workload.Default(1)
+	if err := spec.Populate(0, store); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := store.LookupKeyword(spec.Keyword(i % 100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Match(spec.Keyword(i % 100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

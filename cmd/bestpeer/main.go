@@ -1,0 +1,212 @@
+// Command bestpeer runs a live BestPeer node: a StorM storage manager, a
+// mobile-agent engine, a self-configuring peer set and a LIGLO client,
+// driven by a small interactive shell on stdin.
+//
+// Usage:
+//
+//	bestpeer -store data.storm [-addr host:port] [-liglo a:1,b:2]
+//	         [-peers 5] [-strategy maxcount|minhops|static] [-ttl 7]
+//
+// Shell commands:
+//
+//	query <keyword>        broadcast a keyword search agent
+//	filter <expr>          broadcast a filter agent (computational power)
+//	digest <keyword>       broadcast a digesting agent (summaries only)
+//	hints <keyword>        mode-2 search: collect hints, then fetch
+//	put <name> <kw> <text> store a sharable object locally
+//	get <name>             read a local object
+//	ls                     list local objects
+//	peers                  show direct peers
+//	stats                  show node counters
+//	rejoin                 refresh addresses through LIGLO
+//	help                   this list
+//	quit                   exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/core"
+	"bestpeer/internal/reconfig"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/transport"
+)
+
+func main() {
+	storePath := flag.String("store", "bestpeer.storm", "path of the StorM data file")
+	addr := flag.String("addr", "127.0.0.1:0", "address to listen on")
+	ligloList := flag.String("liglo", "", "comma-separated LIGLO servers to register with")
+	maxPeers := flag.Int("peers", 5, "maximum direct peers")
+	strategy := flag.String("strategy", "maxcount", "reconfiguration strategy: maxcount, minhops, static")
+	ttl := flag.Int("ttl", 7, "default agent TTL")
+	frames := flag.Int("frames", 64, "buffer pool frames")
+	policy := flag.String("policy", "lru", "buffer replacement policy: lru, mru, fifo, clock, priority")
+	access := flag.Int("access", 0, "access level presented to peers")
+	catalog := flag.Bool("catalog", false, "maintain a persistent B+tree catalog")
+	index := flag.Bool("index", false, "maintain a persistent inverted keyword index")
+	wal := flag.String("wal", "", "write-ahead log path (empty disables)")
+	walSync := flag.Bool("wal-sync", false, "fsync the WAL on every operation")
+	flag.Parse()
+
+	store, err := storm.Open(*storePath, storm.Options{
+		BufferFrames:      *frames,
+		Policy:            *policy,
+		PersistentCatalog: *catalog,
+		PersistentIndex:   *index,
+		WALPath:           *wal,
+		WALSync:           *walSync,
+	})
+	if err != nil {
+		log.Fatalf("bestpeer: open store: %v", err)
+	}
+	defer store.Close()
+
+	node, err := core.NewNode(core.Config{
+		Network:     transport.TCP{},
+		ListenAddr:  *addr,
+		Store:       store,
+		MaxPeers:    *maxPeers,
+		DefaultTTL:  uint8(*ttl),
+		Strategy:    reconfig.ByName(*strategy),
+		AccessLevel: *access,
+	})
+	if err != nil {
+		log.Fatalf("bestpeer: start node: %v", err)
+	}
+	defer node.Close()
+
+	fmt.Printf("bestpeer: listening on %s, store %s (%d objects), strategy %s\n",
+		node.Addr(), *storePath, store.Len(), node.Strategy().Name())
+
+	if *ligloList != "" {
+		servers := strings.Split(*ligloList, ",")
+		if err := node.Join(servers); err != nil {
+			log.Fatalf("bestpeer: join: %v", err)
+		}
+		fmt.Printf("bestpeer: joined as %v with %d initial peers\n", node.ID(), len(node.Peers()))
+	}
+
+	shell(node, store)
+}
+
+func shell(node *core.Node, store *storm.Store) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if !dispatch(node, store, line) {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+// dispatch executes one shell command; it returns false to exit.
+func dispatch(node *core.Node, store *storm.Store, line string) bool {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "quit", "exit":
+		return false
+	case "help":
+		fmt.Println("query filter digest hints put get ls peers stats rejoin quit")
+	case "query":
+		runQuery(node, &agent.KeywordAgent{Query: strings.Join(args, " ")}, 1)
+	case "digest":
+		runQuery(node, &agent.DigestAgent{Query: strings.Join(args, " ")}, 1)
+	case "filter":
+		runQuery(node, &agent.FilterAgent{Expr: strings.Join(args, " "), IncludeData: false}, 1)
+	case "hints":
+		runHints(node, strings.Join(args, " "))
+	case "put":
+		if len(args) < 3 {
+			fmt.Println("usage: put <name> <keyword> <text...>")
+			break
+		}
+		obj := &storm.Object{Name: args[0], Keywords: []string{args[1]},
+			Data: []byte(strings.Join(args[2:], " "))}
+		if _, err := store.Put(obj); err != nil {
+			fmt.Println("error:", err)
+		}
+	case "get":
+		if len(args) != 1 {
+			fmt.Println("usage: get <name>")
+			break
+		}
+		obj, err := store.Get(args[0])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("%s [%s] %q\n", obj.Name, strings.Join(obj.Keywords, ","), obj.Data)
+	case "ls":
+		for _, name := range store.Names() {
+			fmt.Println(" ", name)
+		}
+	case "peers":
+		for _, p := range node.Peers() {
+			fmt.Printf("  %s (%v)\n", p.Addr, p.ID)
+		}
+	case "stats":
+		s := node.Stats()
+		fmt.Printf("  executed=%d forwarded=%d dup=%d answers=%d reconfigs=%d\n",
+			s.AgentsExecuted, s.AgentsForwarded, s.DuplicatesDropped,
+			s.AnswersSent, s.Reconfigs)
+		fmt.Printf("  pool: policy=%s hitrate=%.2f\n",
+			store.Pool().Policy(), store.Pool().HitRate())
+	case "rejoin":
+		if err := node.Rejoin(); err != nil {
+			fmt.Println("error:", err)
+		}
+	default:
+		fmt.Printf("unknown command %q (try help)\n", cmd)
+	}
+	return true
+}
+
+func runQuery(node *core.Node, ag agent.Agent, mode uint8) {
+	res, err := node.Query(ag, core.QueryOptions{Mode: mode, Timeout: 2 * time.Second})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, a := range res.Answers {
+		fmt.Printf("  %-30s from %s (hops %d, %dB, %v)\n",
+			a.Result.Name, a.PeerAddr, a.Hops, len(a.Result.Data), a.At.Round(time.Millisecond))
+	}
+	fmt.Printf("  %d answers in %v (reconfigured=%v)\n",
+		len(res.Answers), res.Elapsed.Round(time.Millisecond), res.Reconfigured)
+}
+
+func runHints(node *core.Node, query string) {
+	res, err := node.Query(&agent.KeywordAgent{Query: query},
+		core.QueryOptions{Mode: 2, Timeout: 2 * time.Second})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	byPeer := make(map[string][]string)
+	for _, h := range res.Hints {
+		byPeer[h.PeerAddr] = append(byPeer[h.PeerAddr], h.Result.Name)
+	}
+	for peer, names := range byPeer {
+		fmt.Printf("  %s advertises %v — fetching\n", peer, names)
+		got, err := node.Fetch(peer, names, 2*time.Second)
+		if err != nil {
+			fmt.Println("  fetch error:", err)
+			continue
+		}
+		for _, r := range got {
+			fmt.Printf("    %s (%dB)\n", r.Name, len(r.Data))
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command bpbench regenerates every table and figure of the paper's
+// evaluation (§4) on the deterministic simulator, printing one aligned
+// text table per figure.
+//
+// Usage:
+//
+//	bpbench [-fig all|5a|5b|5c|6|7|8a|8b|ablations] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bestpeer/internal/bench"
+	"bestpeer/internal/reconfig"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/workload"
+)
+
+// runLive executes a miniature version of the line experiment on the
+// real stack (in-process transport, real storage engine, real agents)
+// instead of the simulator, printing per-round wall-clock completions
+// for the static and reconfigurable nodes.
+func runLive(seed int64) {
+	spec := &workload.Spec{ObjectsPerNode: 100, ObjectSize: 512, Vocabulary: 10, Seed: seed}
+	query := spec.Keyword(3)
+	const n, rounds = 8, 3
+	fmt.Printf("Live run — %d-node line over in-process transport, query %q\n", n, query)
+	fmt.Printf("  %-10s", "strategy")
+	for r := 1; r <= rounds; r++ {
+		fmt.Printf("  round%d(ms)", r)
+	}
+	fmt.Println("  answers  maxhops(last)")
+	for _, strat := range []reconfig.Strategy{reconfig.Static{}, reconfig.MaxCount{}} {
+		lc, err := bench.NewLiveCluster(topology.Line(n), spec, query, strat, 6)
+		if err != nil {
+			log.Fatalf("bpbench: live cluster: %v", err)
+		}
+		fmt.Printf("  %-10s", strat.Name())
+		var last bench.LiveResult
+		for r := 0; r < rounds; r++ {
+			res, err := lc.RunRound(10 * time.Second)
+			if err != nil {
+				log.Fatalf("bpbench: live round: %v", err)
+			}
+			fmt.Printf("  %10.2f", float64(res.Completion)/float64(time.Millisecond))
+			last = res
+		}
+		fmt.Printf("  %7d  %13d\n", last.TotalAnswers, last.MaxHops)
+		lc.Close()
+	}
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 5a, 5b, 5c, 6, 7, 8a, 8b, ablations")
+	seed := flag.Int64("seed", 1, "workload seed")
+	live := flag.Bool("live", false, "also run a miniature live-stack comparison")
+	flag.Parse()
+
+	cost := bench.DefaultCost()
+	run := func(f *bench.Figure) { f.Render(os.Stdout) }
+
+	switch *fig {
+	case "all":
+		for _, f := range bench.AllFigures(cost, *seed) {
+			run(f)
+		}
+	case "5a":
+		run(bench.Fig5a(cost, *seed))
+	case "5b":
+		run(bench.Fig5b(cost, *seed))
+	case "5c":
+		run(bench.Fig5c(cost, *seed))
+	case "6":
+		run(bench.Fig6(cost, *seed))
+	case "7":
+		run(bench.Fig7(cost, *seed))
+	case "8a":
+		run(bench.Fig8a(cost, *seed))
+	case "8b":
+		run(bench.Fig8b(cost, *seed))
+	case "ablations":
+		run(bench.AblationStrategies(cost, *seed))
+		run(bench.AblationCompression(cost, *seed))
+		run(bench.AblationColdClass(cost, *seed))
+		run(bench.AblationResultMode(cost, *seed))
+		run(bench.AblationShipping(cost, *seed))
+	case "traffic":
+		run(bench.TrafficTable(cost, *seed))
+	default:
+		fmt.Fprintf(os.Stderr, "bpbench: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *live {
+		runLive(*seed)
+	}
+}

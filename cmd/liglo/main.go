@@ -1,0 +1,48 @@
+// Command liglo runs a Location-Independent Global Names Lookup server.
+// Peers register with it to obtain a BPID, report their address on every
+// reconnect, and resolve each other's current addresses. Any number of
+// liglo servers can serve one BestPeer network.
+//
+// Usage:
+//
+//	liglo [-addr host:port] [-capacity N] [-peers N] [-probe 30s]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bestpeer/internal/liglo"
+	"bestpeer/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "address to listen on")
+	capacity := flag.Int("capacity", 0, "maximum members (0 = unlimited)")
+	peers := flag.Int("peers", 5, "initial direct peers handed to a new registrant")
+	probe := flag.Duration("probe", 30*time.Second, "liveness validation interval (0 disables)")
+	flag.Parse()
+
+	srv, err := liglo.NewServer(transport.TCP{}, *addr, liglo.ServerConfig{
+		Capacity:      *capacity,
+		InitialPeers:  *peers,
+		ProbeInterval: *probe,
+	})
+	if err != nil {
+		log.Fatalf("liglo: %v", err)
+	}
+	log.Printf("liglo: serving on %s (capacity=%d, initial peers=%d)",
+		srv.Addr(), *capacity, *peers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("liglo: shutting down with %d members", srv.Members())
+	if err := srv.Close(); err != nil {
+		log.Fatalf("liglo: close: %v", err)
+	}
+}

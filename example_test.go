@@ -1,0 +1,50 @@
+package bestpeer_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	bestpeer "bestpeer"
+)
+
+// Example builds a two-node network in-process, shares an object on one
+// node and finds it from the other.
+func Example() {
+	dir, _ := os.MkdirTemp("", "bestpeer-example")
+	defer os.RemoveAll(dir)
+	nw := bestpeer.NewInProcNetwork()
+
+	seller, _ := bestpeer.OpenStore(filepath.Join(dir, "seller.storm"), bestpeer.StoreOptions{})
+	defer seller.Close()
+	seller.Put(&bestpeer.Object{
+		Name:     "giant-steps.mp3",
+		Keywords: []string{"jazz"},
+		Data:     []byte("…audio…"),
+	})
+	sellerNode, _ := bestpeer.NewNode(bestpeer.Config{
+		Network: nw, ListenAddr: "seller", Store: seller,
+	})
+	defer sellerNode.Close()
+
+	buyer, _ := bestpeer.OpenStore(filepath.Join(dir, "buyer.storm"), bestpeer.StoreOptions{})
+	defer buyer.Close()
+	buyerNode, _ := bestpeer.NewNode(bestpeer.Config{
+		Network: nw, ListenAddr: "buyer", Store: buyer,
+	})
+	defer buyerNode.Close()
+	buyerNode.SetPeers([]bestpeer.Peer{{Addr: sellerNode.Addr()}})
+
+	res, _ := buyerNode.Query(&bestpeer.KeywordAgent{Query: "jazz"}, bestpeer.QueryOptions{
+		Timeout: 2 * time.Second, WaitAnswers: 1,
+	})
+	var names []string
+	for _, a := range res.Answers {
+		names = append(names, a.Result.Name)
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output: [giant-steps.mp3]
+}

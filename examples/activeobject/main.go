@@ -1,0 +1,104 @@
+// Activeobject: access-controlled sharing with active objects (§3.2.2).
+//
+// A finance node shares one report as an *active object*: the data
+// elements are the report's lines and the active element is a level
+// filter the owner installed. Two requesters with different clearances
+// search for it; each receives only the content its access level allows,
+// because the filtering runs at the owner's site inside the agent's
+// execution.
+//
+// Run with: go run ./examples/activeobject
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/core"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/transport"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bestpeer-activeobject")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	nw := transport.NewInProc()
+
+	// The owner's node: its report mixes public and restricted lines.
+	ownerStore, err := storm.Open(filepath.Join(dir, "owner.storm"), storm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ownerStore.Close()
+	report := strings.Join([]string{
+		"Q3 revenue review",
+		agent.MarkLine(0, "revenue grew 12% quarter over quarter"),
+		agent.MarkLine(3, "acquisition of Initech under negotiation"),
+		agent.MarkLine(5, "board approved workforce reduction plan"),
+	}, "\n")
+	ownerStore.Put(&storm.Object{
+		Name:        "q3-review",
+		Keywords:    []string{"finance"},
+		Kind:        storm.ActiveObject,
+		ActiveClass: "level-filter",
+		Data:        []byte(report),
+	})
+
+	active := agent.NewActiveSet()
+	active.Add(&agent.LevelFilter{}) // the owner's active element
+
+	owner, err := core.NewNode(core.Config{
+		Network: nw, ListenAddr: "owner", Store: ownerStore,
+		ActiveNodes: active,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer owner.Close()
+
+	// Two requesters with different clearances.
+	for _, who := range []struct {
+		name  string
+		level int
+	}{
+		{"intern", 0},
+		{"director", 4},
+	} {
+		store, err := storm.Open(filepath.Join(dir, who.name+".storm"), storm.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		node, err := core.NewNode(core.Config{
+			Network: nw, ListenAddr: who.name, Store: store,
+			AccessLevel: who.level,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		node.SetPeers([]core.Peer{{Addr: owner.Addr()}})
+
+		res, err := node.Query(&agent.KeywordAgent{Query: "finance"}, core.QueryOptions{
+			Timeout: time.Second, WaitAnswers: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (access level %d) sees:\n", who.name, who.level)
+		for _, a := range res.Answers {
+			for _, line := range strings.Split(string(a.Result.Data), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		fmt.Println()
+		node.Close()
+		store.Close()
+	}
+}

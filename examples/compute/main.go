@@ -1,0 +1,113 @@
+// Compute: computational-power sharing (§3.2.3).
+//
+// A requester ships its own filtering algorithm — a compiled filter
+// expression — to data-holding peers. The filter executes at each
+// provider against the provider's objects, and only matching names (or a
+// digest) come back, so the provider's CPU does the work and the network
+// carries only the distilled result.
+//
+// Run with: go run ./examples/compute
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/core"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/transport"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bestpeer-compute")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	nw := transport.NewInProc()
+
+	// Three data providers with stock tick archives of varying sizes.
+	var providers []*core.Node
+	for i, symbolSet := range [][]string{
+		{"ACME", "GLOBEX"},
+		{"INITECH", "ACME"},
+		{"HOOLI"},
+	} {
+		store, err := storm.Open(filepath.Join(dir, fmt.Sprintf("prov%d.storm", i)), storm.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		for _, sym := range symbolSet {
+			for day := 1; day <= 3; day++ {
+				size := 100 * day * (i + 1)
+				store.Put(&storm.Object{
+					Name:     fmt.Sprintf("%s-day%d", sym, day),
+					Keywords: []string{"ticks", sym},
+					Data:     make([]byte, size),
+				})
+			}
+		}
+		node, err := core.NewNode(core.Config{
+			Network: nw, ListenAddr: fmt.Sprintf("provider-%d", i), Store: store,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		providers = append(providers, node)
+	}
+
+	// The requester: no local data, just an algorithm to run elsewhere.
+	reqStore, err := storm.Open(filepath.Join(dir, "req.storm"), storm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reqStore.Close()
+	requester, err := core.NewNode(core.Config{
+		Network: nw, ListenAddr: "requester", Store: reqStore, MaxPeers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer requester.Close()
+	var peers []core.Peer
+	for _, p := range providers {
+		peers = append(peers, core.Peer{Addr: p.Addr()})
+	}
+	requester.SetPeers(peers)
+
+	// Two different "algorithms", shipped and evaluated remotely.
+	for _, expr := range []string{
+		"keyword=ACME & size>300",
+		"keyword=ticks & !keyword=ACME & size<250",
+	} {
+		res, err := requester.Query(&agent.FilterAgent{Expr: expr}, core.QueryOptions{
+			Timeout: time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("filter %q matched %d objects:\n", expr, len(res.Answers))
+		for _, a := range res.Answers {
+			fmt.Printf("    %-16s at %s\n", a.Result.Name, a.PeerAddr)
+		}
+		fmt.Println()
+	}
+
+	// A digest agent: processed information instead of raw data.
+	res, err := requester.Query(&agent.DigestAgent{Query: "ticks"}, core.QueryOptions{
+		Timeout: time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("digest of all tick archives (%d):\n", len(res.Answers))
+	for _, a := range res.Answers {
+		fmt.Printf("    %s\n", a.Result.Data)
+	}
+}

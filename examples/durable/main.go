@@ -1,0 +1,93 @@
+// Durable: the storage-manager extensions working together.
+//
+// A node's StorM store is opened with all three durability extensions —
+// write-ahead log, persistent B+tree catalog, and persistent inverted
+// keyword index. The program writes a batch of objects, then simulates a
+// crash (abandoning the store without a clean close, losing every dirty
+// buffer-pool page), reopens, and shows that WAL recovery restored every
+// acknowledged operation, with the catalog and index consistent. Finally
+// it compacts the store, reclaiming the space left by deletions.
+//
+// Run with: go run ./examples/durable
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bestpeer/internal/storm"
+)
+
+func open(dir string) *storm.Store {
+	s, err := storm.Open(filepath.Join(dir, "library.storm"), storm.Options{
+		WALPath:           filepath.Join(dir, "library.wal"),
+		WALSync:           true,
+		PersistentCatalog: true,
+		PersistentIndex:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "bestpeer-durable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	s := open(dir)
+	genres := []string{"jazz", "classical", "rock"}
+	for i := 0; i < 120; i++ {
+		_, err := s.Put(&storm.Object{
+			Name:     fmt.Sprintf("track-%03d.mp3", i),
+			Keywords: []string{genres[i%3]},
+			Data:     make([]byte, 700),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 120; i += 2 { // half the library is deleted again
+		if err := s.Delete(fmt.Sprintf("track-%03d.mp3", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("before crash: %d objects, %d WAL records, %d pages\n",
+		st.Objects, st.WALRecords, st.TotalPages)
+
+	// Simulate a crash: no Close, no flush. Dirty pages die with the
+	// process; only the WAL (fsynced per operation) survives.
+	s.Abandon()
+
+	r := open(dir)
+	jazz, err := r.LookupKeyword("jazz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recovery: %d objects, %d jazz tracks via the index\n",
+		r.Len(), len(jazz))
+
+	// Compact away the deletion debris.
+	slim := filepath.Join(dir, "library-compact.storm")
+	if err := r.CompactTo(slim, storm.Options{
+		PersistentCatalog: true, PersistentIndex: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	before := r.Stats().TotalPages
+	r.Close()
+
+	c, err := storm.Open(slim, storm.Options{PersistentCatalog: true, PersistentIndex: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Printf("after compaction: %d objects, %d pages (was %d)\n",
+		c.Len(), c.Stats().TotalPages, before)
+}

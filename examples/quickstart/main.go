@@ -1,0 +1,108 @@
+// Quickstart: an eight-node BestPeer network in one process.
+//
+// It builds a line of nodes (worst case for a static network), stores a
+// few objects at each, and issues the same keyword query twice from the
+// left end. The first query routes through every intermediate peer; the
+// reconfiguration step then promotes the answer providers to direct
+// peers, so the second query's agents reach them directly. (Clones of
+// the agent still flood the old path too — whichever copy arrives first
+// executes, so the reported hop count of an answer may reflect either
+// route; the promotion itself is what cuts the time to reach providers.)
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/core"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/transport"
+)
+
+const nodes = 8
+
+func main() {
+	dir, err := os.MkdirTemp("", "bestpeer-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// One in-process network; every node gets its own StorM store.
+	nw := transport.NewInProc()
+	cluster := make([]*core.Node, nodes)
+	for i := range cluster {
+		store, err := storm.Open(filepath.Join(dir, fmt.Sprintf("node%d.storm", i)), storm.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+
+		// Every node shares a couple of objects; only the two far ends
+		// of the line hold what we will search for.
+		store.Put(&storm.Object{
+			Name:     fmt.Sprintf("notes-%d", i),
+			Keywords: []string{"notes"},
+			Data:     []byte(fmt.Sprintf("daily notes of node %d", i)),
+		})
+		if i >= nodes-2 {
+			store.Put(&storm.Object{
+				Name:     fmt.Sprintf("jazz-album-%d", i),
+				Keywords: []string{"jazz"},
+				Data:     []byte("… 1 KB of audio, honest …"),
+			})
+		}
+
+		cluster[i], err = core.NewNode(core.Config{
+			Network:    nw,
+			ListenAddr: fmt.Sprintf("peer-%d", i),
+			Store:      store,
+			MaxPeers:   4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster[i].Close()
+	}
+
+	// Wire the line: peer-0 — peer-1 — … — peer-7.
+	for i, n := range cluster {
+		var peers []core.Peer
+		if i > 0 {
+			peers = append(peers, core.Peer{Addr: cluster[i-1].Addr()})
+		}
+		if i < nodes-1 {
+			peers = append(peers, core.Peer{Addr: cluster[i+1].Addr()})
+		}
+		n.SetPeers(peers)
+	}
+
+	base := cluster[0]
+	for round := 1; round <= 2; round++ {
+		res, err := base.Query(&agent.KeywordAgent{Query: "jazz"}, core.QueryOptions{
+			Timeout:     time.Second,
+			WaitAnswers: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: %d answers in %v\n", round, len(res.Answers),
+			res.Elapsed.Round(time.Millisecond))
+		for _, a := range res.Answers {
+			fmt.Printf("  %-14s from %s at hop %d\n", a.Result.Name, a.PeerAddr, a.Hops)
+		}
+		fmt.Printf("  direct peers now: %v\n\n", base.PeerAddrs())
+
+		// Establish connections to freshly promoted peers so the next
+		// round's direct agent copies win the race against relayed ones.
+		for _, p := range base.Peers() {
+			base.Probe(p.Addr, time.Second)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package agent
+
+import (
+	"testing"
+
+	"bestpeer/internal/storm"
+	"bestpeer/internal/wire"
+)
+
+// FuzzDecodePacket: hostile agent packets must never panic; valid ones
+// must re-encode faithfully.
+func FuzzDecodePacket(f *testing.F) {
+	a := &KeywordAgent{Query: "q"}
+	st, _ := a.State()
+	f.Add(EncodePacket(&Packet{Class: KeywordClass, State: st, Base: "b", Mode: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePacket(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodePacket(EncodePacket(p))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Class != p.Class || back.Mode != p.Mode || back.Base != p.Base {
+			t.Fatal("round trip changed packet")
+		}
+	})
+}
+
+// FuzzDecodeResults: result batches from hostile peers must never panic.
+func FuzzDecodeResults(f *testing.F) {
+	f.Add(EncodeResults([]Result{{Name: "n", Data: []byte("d")}}, 2,
+		wire.BPID{LIGLO: "l", Node: 1}, "addr"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeResults(data)
+	})
+}
+
+// FuzzCompileFilter: arbitrary filter expressions must either compile or
+// fail cleanly, and compiled predicates must be callable.
+func FuzzCompileFilter(f *testing.F) {
+	for _, seed := range []string{
+		"keyword=jazz & size>512",
+		"name~report | (keyword=finance & !data~draft)",
+		"kind=active",
+		"(((",
+		"size>",
+		"",
+		`name="quoted value"`,
+	} {
+		f.Add(seed)
+	}
+	obj := &storm.Object{Name: "x", Keywords: []string{"k"}, Data: []byte("d")}
+	f.Fuzz(func(t *testing.T, expr string) {
+		pred, err := CompileFilter(expr)
+		if err != nil {
+			return
+		}
+		_ = pred(obj) // must not panic
+	})
+}

@@ -1,0 +1,194 @@
+package cs
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bestpeer/internal/storm"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/transport"
+)
+
+type cluster struct {
+	nw    *transport.InProc
+	nodes []*Node
+}
+
+func newCluster(t *testing.T, n int, singleThread bool, seed func(i int, s *storm.Store)) *cluster {
+	t.Helper()
+	c := &cluster{nw: transport.NewInProc()}
+	for i := 0; i < n; i++ {
+		st, err := storm.Open(filepath.Join(t.TempDir(), fmt.Sprintf("cs%d.storm", i)), storm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seed != nil {
+			seed(i, st)
+		} else {
+			st.Put(&storm.Object{Name: fmt.Sprintf("f-%d", i), Keywords: []string{"f"},
+				Data: []byte{byte(i)}})
+		}
+		node, err := NewNode(Config{
+			Network: c.nw, ListenAddr: fmt.Sprintf("cs-%d", i),
+			Store: st, SingleThread: singleThread,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, node)
+		store := st
+		t.Cleanup(func() { node.Close(); store.Close() })
+	}
+	return c
+}
+
+func (c *cluster) wire(tp *topology.Topology) {
+	for i, node := range c.nodes {
+		var addrs []string
+		for _, j := range tp.Peers(i) {
+			addrs = append(addrs, c.nodes[j].Addr())
+		}
+		node.SetPeers(addrs)
+	}
+}
+
+func names(answers []Answer) map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range answers {
+		out[a.Name] = true
+	}
+	return out
+}
+
+func TestStarAllAnswer(t *testing.T) {
+	c := newCluster(t, 5, false, nil)
+	c.wire(topology.Star(5))
+	got, err := c.nodes[0].Query("f", QueryOptions{Timeout: 2 * time.Second, WaitAnswers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("answers = %d, want 5", len(got))
+	}
+	seen := names(got)
+	for i := 0; i < 5; i++ {
+		if !seen[fmt.Sprintf("f-%d", i)] {
+			t.Fatalf("missing f-%d: %v", i, seen)
+		}
+	}
+}
+
+func TestAnswersRelayAlongPath(t *testing.T) {
+	// Line 0-1-2-3: node 3's answer must be relayed by 2 and 1.
+	c := newCluster(t, 4, false, func(i int, s *storm.Store) {
+		if i == 3 {
+			s.Put(&storm.Object{Name: "far", Keywords: []string{"deep"}})
+		}
+	})
+	c.wire(topology.Line(4))
+	got, err := c.nodes[0].Query("deep", QueryOptions{Timeout: 2 * time.Second, WaitAnswers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "far" || got[0].Origin != c.nodes[3].Addr() {
+		t.Fatalf("answers = %+v", got)
+	}
+	// The relay property: intermediate nodes forwarded the answer.
+	n1, n2 := c.nodes[1], c.nodes[2]
+	n1.mu.Lock()
+	r1 := n1.Relayed
+	n1.mu.Unlock()
+	n2.mu.Lock()
+	r2 := n2.Relayed
+	n2.mu.Unlock()
+	if r1 != 1 || r2 != 1 {
+		t.Fatalf("relays = %d, %d; want 1, 1", r1, r2)
+	}
+}
+
+func TestTreeDeliversAll(t *testing.T) {
+	const n = 7
+	c := newCluster(t, n, false, nil)
+	c.wire(topology.Tree(n, 2))
+	got, err := c.nodes[0].Query("f", QueryOptions{Timeout: 3 * time.Second, WaitAnswers: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("answers = %d, want %d", len(got), n)
+	}
+}
+
+func TestSequentialClientStillCollectsAll(t *testing.T) {
+	c := newCluster(t, 4, true, nil)
+	c.wire(topology.Star(4))
+	got, err := c.nodes[0].Query("f", QueryOptions{
+		Timeout: 2 * time.Second, Sequential: true, PerPeerWait: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("answers = %d, want 4", len(got))
+	}
+}
+
+func TestTTLBoundsDepth(t *testing.T) {
+	c := newCluster(t, 5, false, nil)
+	c.wire(topology.Line(5))
+	got, err := c.nodes[0].Query("f", QueryOptions{TTL: 2, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := names(got)
+	if !seen["f-0"] || !seen["f-1"] || !seen["f-2"] {
+		t.Fatalf("near answers missing: %v", seen)
+	}
+	if seen["f-3"] || seen["f-4"] {
+		t.Fatalf("TTL leak: %v", seen)
+	}
+}
+
+func TestClosedNodeRejectsQuery(t *testing.T) {
+	c := newCluster(t, 1, false, nil)
+	c.nodes[0].Close()
+	if _, err := c.nodes[0].Query("f", QueryOptions{}); err != ErrClosed {
+		t.Fatalf("query after close: %v", err)
+	}
+	if err := c.nodes[0].Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewNode(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestSingleThreadServerSerializesWork(t *testing.T) {
+	// A single-thread hub between two queriers: all handling goes
+	// through one worker, but answers must still be correct.
+	c := newCluster(t, 3, true, func(i int, s *storm.Store) {
+		for j := 0; j < 20; j++ {
+			s.Put(&storm.Object{Name: fmt.Sprintf("n%d-o%d", i, j), Keywords: []string{"bulk"}})
+		}
+	})
+	c.wire(topology.Line(3))
+	got, err := c.nodes[0].Query("bulk", QueryOptions{Timeout: 3 * time.Second, WaitAnswers: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("answers = %d, want 60", len(got))
+	}
+}
+
+func TestStringer(t *testing.T) {
+	c := newCluster(t, 1, true, nil)
+	if s := c.nodes[0].String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"bestpeer/internal/netsim"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/wire"
+)
+
+// csSim models the client/server comparators. A query travels down the
+// topology; every node executes it (query-shipping: cheap startup, the
+// algorithm is already at the server) and returns its answers to the hop
+// the query came from; intermediate hops relay answers upstream
+// immediately (the paper's second CS implementation). The base is either
+// multi-threaded (contacts all servers in parallel — MCS) or
+// single-threaded (one connection at a time — SCS).
+type csSim struct {
+	p            Params
+	tp           *topology.Topology
+	sim          *netsim.Sim
+	net          *netsim.Network
+	singleThread bool
+
+	route   []int // upstream hop per node for the current query (-1 unset)
+	pending []int // outstanding "done" markers expected per node
+
+	events  []Event
+	started time.Duration
+
+	// Sequential (SCS) dispatch state at the base.
+	seqOrder []int
+	seqNext  int
+}
+
+// csDone is a subtree-completion marker: sent upstream when a node's own
+// scan finished and all its children reported done. SCS needs it to move
+// to the next server; it also gives the simulation a natural end.
+const csDoneKind = wire.KindPeerProbeOK // reuse a spare kind for markers
+
+func newCSSim(tp *topology.Topology, p Params, singleThread bool) *csSim {
+	p = p.withDefaults()
+	s := netsim.NewSim()
+	net := netsim.NewNetwork(s, netsim.Link{Latency: p.Cost.Latency, Bandwidth: p.Cost.Bandwidth})
+	net.UseSharedMedium()
+	c := &csSim{
+		p: p, tp: tp, sim: s, net: net, singleThread: singleThread,
+		route:   make([]int, tp.N),
+		pending: make([]int, tp.N),
+	}
+	threads := p.Threads
+	if singleThread {
+		threads = 1
+	}
+	for i := 0; i < tp.N; i++ {
+		i := i
+		h := net.AddHost(nodeAddr(i), netsim.HostConfig{Threads: threads})
+		h.SetHandler(func(env *wire.Envelope) { c.handle(i, env) })
+	}
+	return c
+}
+
+func (c *csSim) handle(node int, env *wire.Envelope) {
+	switch env.Kind {
+	case wire.KindCSQuery:
+		c.handleQuery(node, env)
+	case wire.KindCSAnswer:
+		c.handleAnswer(node, env)
+	case csDoneKind:
+		c.handleDone(node)
+	}
+}
+
+// handleQuery: record the upstream hop, scan locally (charging server
+// CPU), answer upstream, forward downstream, and emit a done marker when
+// the whole subtree has reported.
+func (c *csSim) handleQuery(node int, env *wire.Envelope) {
+	if env.Expired() {
+		return // TTL exhausted: drop
+	}
+	if c.route[node] != -1 {
+		return // duplicate via a cycle; topologies here are acyclic anyway
+	}
+	up := nodeFromEnvAddr(env.From)
+	c.route[node] = up
+
+	// Forward downstream first (parallel subtrees); forwarding costs CPU.
+	var targets []int
+	if env.TTL > 1 {
+		for _, w := range c.tp.Peers(node) {
+			if w != up {
+				targets = append(targets, w)
+			}
+		}
+	}
+	c.pending[node] = len(targets) + 1 // children's done markers + own scan
+	if len(targets) > 0 {
+		c.net.Host(nodeAddr(node)).Exec(c.p.Cost.ForwardCost, func() {
+			for _, w := range targets {
+				fwd := env.Forwarded(nodeAddr(node), nodeAddr(w))
+				c.net.Send(nodeAddr(node), nodeAddr(w), fwd, c.p.Cost.compressed(c.p.Cost.QuerySize))
+			}
+		})
+	}
+
+	host := c.net.Host(nodeAddr(node))
+	host.Exec(c.p.Cost.QueryStartup+c.p.Cost.scanCost(c.p.Spec.ObjectsPerNode), func() {
+		hits := c.p.Spec.MatchCount(node, c.p.Query)
+		if hits > 0 {
+			size := c.p.Cost.resultSize(hits, c.p.Spec.ObjectSize, c.p.IncludeData)
+			c.sendUp(node, up, hits, node, int(env.Hops), size)
+		}
+		c.handleDone(node) // own scan complete
+	})
+}
+
+// sendUp sends an answer message one hop toward the base.
+func (c *csSim) sendUp(node, to, hits, origin, hops, size int) {
+	env := &wire.Envelope{
+		Kind: wire.KindCSAnswer, ID: wire.NewMsgID(), TTL: 1, Hops: uint8(clampHops(hops)),
+		From: nodeAddr(node), To: nodeAddr(to), Body: resultBody(hits, origin),
+	}
+	c.net.Send(nodeAddr(node), nodeAddr(to), env, size)
+}
+
+// handleAnswer relays an answer upstream or records it at the base. The
+// relay charges CPU and re-transmits the full message — the structural
+// cost that makes CS degrade with depth.
+func (c *csSim) handleAnswer(node int, env *wire.Envelope) {
+	hits, origin := resultFromBody(env.Body)
+	if node == c.tp.Base {
+		c.events = append(c.events, Event{
+			Node: origin, Answers: hits, Hops: int(env.Hops),
+			At: c.sim.Now() - c.started,
+		})
+		return
+	}
+	up := c.route[node]
+	if up == -1 {
+		return
+	}
+	size := c.p.Cost.resultSize(hits, c.p.Spec.ObjectSize, c.p.IncludeData)
+	host := c.net.Host(nodeAddr(node))
+	host.Exec(c.p.Cost.RelayCost, func() {
+		c.sendUp(node, up, hits, origin, int(env.Hops), size)
+	})
+}
+
+// handleDone decrements a node's outstanding-subtree counter and
+// propagates the marker upstream when the subtree is complete.
+func (c *csSim) handleDone(node int) {
+	c.pending[node]--
+	if c.pending[node] > 0 {
+		return
+	}
+	if node == c.tp.Base {
+		if c.singleThread {
+			c.dispatchNext()
+		}
+		return
+	}
+	up := c.route[node]
+	if up == -1 {
+		return
+	}
+	env := &wire.Envelope{
+		Kind: csDoneKind, ID: wire.NewMsgID(), TTL: 1,
+		From: nodeAddr(node), To: nodeAddr(up),
+	}
+	c.net.Send(nodeAddr(node), nodeAddr(up), env, 32)
+}
+
+// dispatchNext sends the query to the base's next server (SCS: one
+// outstanding connection at a time).
+func (c *csSim) dispatchNext() {
+	if c.seqNext >= len(c.seqOrder) {
+		return
+	}
+	w := c.seqOrder[c.seqNext]
+	c.seqNext++
+	c.pending[c.tp.Base]++ // expect this child's done marker
+	c.sendQuery(w)
+}
+
+func (c *csSim) sendQuery(to int) {
+	env := &wire.Envelope{
+		Kind: wire.KindCSQuery, ID: wire.NewMsgID(),
+		TTL: uint8(clampHops(c.p.TTL)), Hops: 1,
+		From: nodeAddr(c.tp.Base), To: nodeAddr(to),
+	}
+	c.net.Send(nodeAddr(c.tp.Base), nodeAddr(to), env, c.p.Cost.compressed(c.p.Cost.QuerySize))
+}
+
+// RunCS executes one query under the client/server model. singleThread
+// selects SCS (sequential dispatch, one server thread); otherwise MCS.
+func RunCS(tp *topology.Topology, p Params, singleThread bool) RunResult {
+	c := newCSSim(tp, p, singleThread)
+	for i := range c.route {
+		c.route[i] = -1
+	}
+	c.started = 0
+	base := tp.Base
+	c.route[base] = base // sentinel: base has no upstream
+
+	children := append([]int(nil), tp.Peers(base)...)
+	sort.Ints(children)
+
+	if singleThread {
+		c.seqOrder = children
+		c.seqNext = 0
+		c.pending[base] = 0
+		c.dispatchNext()
+	} else {
+		c.pending[base] = len(children)
+		for _, w := range children {
+			c.sendQuery(w)
+		}
+	}
+	c.sim.Run()
+
+	res := RunResult{
+		Events: append([]Event(nil), c.events...),
+		Msgs:   c.net.MsgsDelivered,
+		Bytes:  c.net.BytesDelivered,
+	}
+	for _, e := range res.Events {
+		res.TotalAnswers += e.Answers
+		if e.At > res.Completion {
+			res.Completion = e.At
+		}
+	}
+	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].At < res.Events[j].At })
+	return res
+}
+
+// silence unused-import guards if costs change shape later.
+var _ = time.Duration(0)

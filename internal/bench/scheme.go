@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bestpeer/internal/topology"
+	"bestpeer/internal/workload"
+)
+
+// Params configures one simulated experiment.
+type Params struct {
+	// Cost calibrates the simulated hardware and network.
+	Cost CostModel
+	// Spec generates the per-node data (object counts drive scan and
+	// transfer costs).
+	Spec *workload.Spec
+	// Query is the keyword searched for.
+	Query string
+	// MaxPeers is the direct-peer budget of the reconfigurable base
+	// node (the paper's k). Zero defaults to 8.
+	MaxPeers int
+	// TTL bounds propagation. Zero defaults to 64 (large enough that
+	// every topology in the paper is fully covered, as in their runs).
+	TTL int
+	// IncludeData makes answers carry object payloads; false returns
+	// names only (the Fig. 8 configuration).
+	IncludeData bool
+	// Threads is the per-host CPU parallelism for multi-threaded
+	// schemes. Zero defaults to 8.
+	Threads int
+	// ColdStart makes every non-base node start without the agent class
+	// installed, so the first round pays class shipping. The default
+	// (false) models the realistic deployment where the standard search
+	// class ships with the BestPeer software, as it does in the live
+	// implementation's built-in registry.
+	ColdStart bool
+	// DataShip switches the BestPeer model from code-shipping to naive
+	// data-shipping: peers return their entire store and the base
+	// filters locally. This is the alternative §6 of the paper discusses
+	// choosing between at runtime.
+	DataShip bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxPeers == 0 {
+		p.MaxPeers = 8
+	}
+	if p.TTL == 0 {
+		p.TTL = 64
+	}
+	if p.Threads == 0 {
+		p.Threads = 8
+	}
+	return p
+}
+
+// Event is one answer batch arriving at the base node.
+type Event struct {
+	// Node is the answering node's index.
+	Node int
+	// Answers is how many results the batch carried.
+	Answers int
+	// Hops is the answering node's distance when it matched.
+	Hops int
+	// At is the simulated arrival time, from query start.
+	At time.Duration
+}
+
+// RunResult is one query execution's outcome.
+type RunResult struct {
+	// Completion is when the last answer arrived (the paper's metric).
+	Completion time.Duration
+	// Events are the answer arrivals in time order.
+	Events []Event
+	// TotalAnswers sums Events' answers.
+	TotalAnswers int
+	// Msgs and Bytes are total network traffic during the run.
+	Msgs  uint64
+	Bytes uint64
+}
+
+// nodeAddr names simulated hosts.
+func nodeAddr(i int) string { return fmt.Sprintf("n%d", i) }
+
+// expectedAnswers is the ground truth the harness validates runs against:
+// total matches over all nodes reachable within ttl hops of the base.
+func expectedAnswers(tp *topology.Topology, spec *workload.Spec, query string, ttl int) int {
+	dist := tp.BFS(tp.Base)
+	total := 0
+	for node, d := range dist {
+		if d > 0 && d <= ttl { // the base's own data is not a network answer
+			total += spec.MatchCount(node, query)
+		}
+	}
+	return total
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bestpeer/internal/agent"
+	"bestpeer/internal/wire"
+)
+
+// handle dispatches every envelope delivered to this node. It runs on
+// messenger reader goroutines, so everything it touches is synchronized.
+func (n *Node) handle(env *wire.Envelope) {
+	if n.isClosed() {
+		return
+	}
+	switch env.Kind {
+	case wire.KindAgent:
+		n.handleAgent(env)
+	case wire.KindResult:
+		n.handleResult(env, false)
+	case wire.KindHint:
+		n.handleResult(env, true)
+	case wire.KindFetch:
+		n.handleFetch(env)
+	case wire.KindClassWant:
+		n.handleClassWant(env)
+	case wire.KindClassShip:
+		n.handleClassShip(env)
+	case wire.KindPeerProbe:
+		n.send(env.From, &wire.Envelope{
+			Kind: wire.KindPeerProbeOK, ID: env.ID, TTL: 1,
+			From: n.Addr(), To: env.From,
+		})
+	case wire.KindPeerProbeOK:
+		n.deliverProbe(env.ID)
+	default:
+		// Not a BestPeer message; ignore.
+	}
+}
+
+// handleAgent implements the receive side of §3.1: drop duplicates and
+// expired agents, obtain the class if missing, execute locally, send
+// answers directly to the base node, and clone-forward to direct peers.
+func (n *Node) handleAgent(env *wire.Envelope) {
+	if env.Expired() {
+		// Lifetime exhausted on arrival: the host drops the agent
+		// without executing it, so TTL t reaches exactly distance t.
+		n.bump(func(s *Stats) { s.ExpiredDropped++ })
+		return
+	}
+	if n.seen.Seen(env.ID) {
+		n.bump(func(s *Stats) { s.DuplicatesDropped++ })
+		return
+	}
+	packet, err := agent.DecodePacket(env.Body)
+	if err != nil {
+		return
+	}
+	// Forward first: propagation does not wait for a class transfer.
+	n.forwardAgent(env)
+
+	if !n.registry.Installed(packet.Class) {
+		if !n.registry.Known(packet.Class) {
+			return // cannot ever run this class
+		}
+		// Park the agent and ask the previous hop for the class.
+		n.pendingMu.Lock()
+		n.pending[packet.Class] = append(n.pending[packet.Class], pendingAgent{env, packet})
+		first := len(n.pending[packet.Class]) == 1
+		n.pendingMu.Unlock()
+		if first {
+			n.send(env.From, &wire.Envelope{
+				Kind: wire.KindClassWant, ID: wire.NewMsgID(), TTL: 1,
+				From: n.Addr(), To: env.From,
+				Body: encodeClassWant(&classWant{Class: packet.Class}),
+			})
+		}
+		return
+	}
+	n.executeAgent(env, packet)
+}
+
+// forwardAgent clones the agent to every direct peer except the one it
+// came from, decrementing TTL and incrementing Hops. Clones that would
+// arrive already expired are not sent.
+func (n *Node) forwardAgent(env *wire.Envelope) {
+	if env.TTL <= 1 {
+		return
+	}
+	from := env.From
+	me := n.Addr()
+	for _, p := range n.Peers() {
+		if p.Addr == from || p.Addr == me {
+			continue
+		}
+		n.send(p.Addr, env.Forwarded(me, p.Addr))
+		n.bump(func(s *Stats) { s.AgentsForwarded++ })
+	}
+}
+
+// executeAgent reconstructs and runs the agent against the local store,
+// then returns any answers straight to the base node.
+func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet) {
+	ag, err := n.registry.New(packet.Class, packet.State)
+	if err != nil {
+		return
+	}
+	ctx := &agent.Context{
+		Store:       n.store,
+		NodeAddr:    n.Addr(),
+		Hops:        int(env.Hops),
+		Requester:   packet.BaseID,
+		AccessLevel: packet.AccessLevel,
+		ActiveNodes: n.active,
+	}
+	results, err := ag.Execute(ctx)
+	n.bump(func(s *Stats) { s.AgentsExecuted++ })
+	if err != nil || len(results) == 0 {
+		return
+	}
+	kind := wire.KindResult
+	if packet.Mode == 2 {
+		// Hint mode: announce names only; the base fetches what it wants.
+		kind = wire.KindHint
+		stripped := make([]agent.Result, len(results))
+		for i, r := range results {
+			stripped[i] = agent.Result{Name: r.Name}
+		}
+		results = stripped
+	}
+	n.bump(func(s *Stats) { s.AnswersSent += uint64(len(results)) })
+	n.send(packet.Base, &wire.Envelope{
+		Kind: kind,
+		ID:   env.ID, // answers carry the query id so the base can route them
+		TTL:  1,
+		From: n.Addr(),
+		To:   packet.Base,
+		Body: agent.EncodeResults(results, int(env.Hops), n.ID(), n.Addr()),
+	})
+}
+
+// handleResult routes an incoming answer batch to its query.
+func (n *Node) handleResult(env *wire.Envelope, hint bool) {
+	batch, err := agent.DecodeResults(env.Body)
+	if err != nil {
+		return
+	}
+	v, ok := n.queries.Load(env.ID)
+	if !ok {
+		return // late answer for a finished query
+	}
+	v.(*queryState).deliver(batch, hint)
+}
+
+// handleFetch serves a mode-2 follow-up: read the named objects, apply
+// active-object access control for the requester, reply with the data.
+func (n *Node) handleFetch(env *wire.Envelope) {
+	req, err := decodeFetchReq(env.Body)
+	if err != nil {
+		return
+	}
+	var results []agent.Result
+	for _, name := range req.Names {
+		obj, err := n.store.Get(name)
+		if err != nil {
+			continue // removed since the hint — the race §2 acknowledges
+		}
+		data, ok := n.active.RenderObject(obj, req.AccessLevel)
+		if !ok {
+			continue
+		}
+		results = append(results, agent.Result{Name: name, Data: data})
+	}
+	n.send(req.Base, &wire.Envelope{
+		Kind: wire.KindResult,
+		ID:   env.ID, // fetch reply carries the fetch id
+		TTL:  1,
+		From: n.Addr(),
+		To:   req.Base,
+		Body: agent.EncodeResults(results, 0, n.ID(), n.Addr()),
+	})
+}
+
+// handleClassWant serves a class payload to a node that lacks it. If
+// this node is itself waiting for the class (a chain of cold nodes), the
+// request is parked and served when the class arrives.
+func (n *Node) handleClassWant(env *wire.Envelope) {
+	w, err := decodeClassWant(env.Body)
+	if err != nil {
+		return
+	}
+	code, err := n.registry.Code(w.Class)
+	if err != nil {
+		if n.registry.Known(w.Class) {
+			n.pendingMu.Lock()
+			n.pendingWants[w.Class] = append(n.pendingWants[w.Class], env.From)
+			n.pendingMu.Unlock()
+		}
+		return
+	}
+	n.shipClass(env.From, w.Class, code)
+}
+
+func (n *Node) shipClass(to, class string, code []byte) {
+	n.bump(func(s *Stats) { s.ClassesShipped++ })
+	n.send(to, &wire.Envelope{
+		Kind: wire.KindClassShip, ID: wire.NewMsgID(), TTL: 1,
+		From: n.Addr(), To: to,
+		Body: encodeClassShip(&classShip{Class: class, Code: code}),
+	})
+}
+
+// handleClassShip installs a shipped class and runs any parked agents.
+func (n *Node) handleClassShip(env *wire.Envelope) {
+	s, err := decodeClassShip(env.Body)
+	if err != nil {
+		return
+	}
+	if err := n.registry.Install(s.Class, s.Code); err != nil {
+		n.log.Warn("class install rejected", "class", s.Class, "err", err)
+		return
+	}
+	n.bump(func(st *Stats) { st.ClassesInstalled++ })
+	n.log.Info("installed shipped class", "class", s.Class, "bytes", len(s.Code))
+	n.pendingMu.Lock()
+	parked := n.pending[s.Class]
+	delete(n.pending, s.Class)
+	wants := n.pendingWants[s.Class]
+	delete(n.pendingWants, s.Class)
+	n.pendingMu.Unlock()
+	for _, pa := range parked {
+		n.executeAgent(pa.env, pa.packet)
+	}
+	// Serve downstream nodes whose class requests arrived while this
+	// node was itself still waiting for the class.
+	for _, to := range wants {
+		n.shipClass(to, s.Class, s.Code)
+	}
+}

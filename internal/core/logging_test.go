@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/liglo"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/transport"
+)
+
+// syncBuffer guards the log sink: slog handlers are invoked from
+// messenger goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestNodeLogsKeyEvents(t *testing.T) {
+	sink := &syncBuffer{}
+	logger := slog.New(slog.NewTextHandler(sink, nil))
+
+	nw := transport.NewInProc()
+	srv, err := liglo.NewServer(nw, "liglo-log", liglo.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	mk := func(name string, lg *slog.Logger, dormant bool) *Node {
+		st, err := storm.Open(filepath.Join(t.TempDir(), name+".storm"), storm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		st.Put(&storm.Object{Name: name + "-obj", Keywords: []string{"logged"}})
+		cfg := Config{Network: nw, ListenAddr: name, Store: st, Logger: lg, MaxPeers: 4}
+		if dormant {
+			reg := agent.NewRegistry()
+			if err := agent.RegisterBuiltinsDormant(reg); err != nil {
+				t.Fatal(err)
+			}
+			cfg.Registry = reg
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	base := mk("log-base", logger, false)
+	cold := mk("log-cold", logger, true) // class install will be logged
+	far := mk("log-far", nil, false)
+
+	if err := base.Join([]string{srv.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	base.SetPeers([]Peer{{Addr: cold.Addr()}})
+	cold.SetPeers([]Peer{{Addr: base.Addr()}, {Addr: far.Addr()}})
+	far.SetPeers([]Peer{{Addr: cold.Addr()}})
+
+	if _, err := base.Query(&agent.KeywordAgent{Query: "logged"}, QueryOptions{
+		Timeout: 2 * time.Second, WaitAnswers: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out := sink.String()
+	for _, want := range []string{
+		"joined bestpeer network",
+		"installed shipped class",
+		"reconfigured peer set",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilLoggerIsSilentAndSafe(t *testing.T) {
+	c := newCluster(t, 2, nil, func(i int, s *storm.Store) {
+		s.Put(&storm.Object{Name: fmt.Sprintf("q-%d", i), Keywords: []string{"q"}})
+	})
+	c.wire(topology.Line(2))
+	if _, err := c.nodes[0].Query(&agent.KeywordAgent{Query: "q"}, QueryOptions{
+		Timeout: time.Second, WaitAnswers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

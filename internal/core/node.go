@@ -1,0 +1,352 @@
+// Package core implements the BestPeer node: the paper's primary
+// contribution. A node couples a StorM storage manager, a mobile-agent
+// engine, a self-configuring direct-peer set and a LIGLO client. Queries
+// are agents cloned to all direct peers; peers with answers reply
+// directly to the base node (out-of-network returns); after each query
+// the node reconfigures its peer set with a pluggable strategy.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/liglo"
+	"bestpeer/internal/reconfig"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/transport"
+	"bestpeer/internal/wire"
+)
+
+// Node errors.
+var (
+	ErrNodeClosed = errors.New("core: node closed")
+	ErrNoQuery    = errors.New("core: no such outstanding query")
+)
+
+// Peer is a directly connected peer: identity plus current address.
+type Peer struct {
+	ID   wire.BPID
+	Addr string
+}
+
+// Config configures a Node.
+type Config struct {
+	// Network supplies connectivity (TCP or in-process).
+	Network transport.Network
+	// ListenAddr is the address to bind; empty picks one.
+	ListenAddr string
+	// Store is the node's StorM instance. Required.
+	Store *storm.Store
+	// Registry holds the node's agent classes. Nil creates a registry
+	// with all built-ins installed.
+	Registry *agent.Registry
+	// ActiveNodes holds the node's active elements. Nil creates an
+	// empty set with the default level filter.
+	ActiveNodes *agent.ActiveSet
+	// MaxPeers caps the direct-peer set (the paper's k). Zero
+	// defaults to 5.
+	MaxPeers int
+	// DefaultTTL is the agent lifetime when the query does not override
+	// it. Zero defaults to 7, Gnutella's classic value.
+	DefaultTTL uint8
+	// Strategy picks which peers to keep after each query. Nil defaults
+	// to MaxCount; use reconfig.Static for a non-reconfiguring node
+	// (the paper's BPS).
+	Strategy reconfig.Strategy
+	// AccessLevel is the clearance this node presents when querying.
+	AccessLevel int
+	// Logger receives structured events (joins, reconfigurations, class
+	// transfers, peer sweeps). Nil discards them.
+	Logger *slog.Logger
+}
+
+// Node is a live BestPeer participant.
+type Node struct {
+	cfg      Config
+	log      *slog.Logger
+	store    *storm.Store
+	registry *agent.Registry
+	active   *agent.ActiveSet
+	strategy reconfig.Strategy
+	msgr     *transport.Messenger
+	lgc      *liglo.Client
+
+	mu     sync.Mutex
+	id     wire.BPID
+	peers  []Peer
+	closed bool
+
+	seen    *dedup
+	queries sync.Map // wire.MsgID -> *queryState
+	probes  sync.Map // wire.MsgID -> chan struct{}
+
+	// pending holds agents waiting for a class transfer, keyed by class;
+	// pendingWants holds peers whose class requests this node could not
+	// serve yet.
+	pendingMu    sync.Mutex
+	pending      map[string][]pendingAgent
+	pendingWants map[string][]string
+
+	// Stats, updated atomically under mu.
+	stats Stats
+}
+
+// Stats counts node activity.
+type Stats struct {
+	AgentsExecuted    uint64
+	AgentsForwarded   uint64
+	DuplicatesDropped uint64
+	ExpiredDropped    uint64
+	AnswersSent       uint64
+	ClassesShipped    uint64
+	ClassesInstalled  uint64
+	Reconfigs         uint64
+}
+
+type pendingAgent struct {
+	env    *wire.Envelope
+	packet *agent.Packet
+}
+
+// NewNode starts a node with the given configuration.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("core: Config.Store is required")
+	}
+	if cfg.Network == nil {
+		return nil, errors.New("core: Config.Network is required")
+	}
+	if cfg.MaxPeers <= 0 {
+		cfg.MaxPeers = 5
+	}
+	if cfg.DefaultTTL == 0 {
+		cfg.DefaultTTL = 7
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = agent.NewRegistry()
+		if err := agent.RegisterBuiltins(reg); err != nil {
+			return nil, err
+		}
+	}
+	act := cfg.ActiveNodes
+	if act == nil {
+		act = agent.NewActiveSet()
+		act.Add(&agent.LevelFilter{})
+	}
+	strat := cfg.Strategy
+	if strat == nil {
+		strat = reconfig.MaxCount{}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	n := &Node{
+		cfg:          cfg,
+		log:          logger,
+		store:        cfg.Store,
+		registry:     reg,
+		active:       act,
+		strategy:     strat,
+		lgc:          liglo.NewClient(cfg.Network),
+		seen:         newDedup(8192),
+		pending:      make(map[string][]pendingAgent),
+		pendingWants: make(map[string][]string),
+	}
+	m, err := transport.NewMessenger(cfg.Network, cfg.ListenAddr, n.handle)
+	if err != nil {
+		return nil, err
+	}
+	n.msgr = m
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.msgr.Addr() }
+
+// ID returns the node's BPID (zero until Join succeeds).
+func (n *Node) ID() wire.BPID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.id
+}
+
+// Store returns the node's storage manager.
+func (n *Node) Store() *storm.Store { return n.store }
+
+// Registry returns the node's agent class registry.
+func (n *Node) Registry() *agent.Registry { return n.registry }
+
+// ActiveNodes returns the node's active-element set.
+func (n *Node) ActiveNodes() *agent.ActiveSet { return n.active }
+
+// Strategy returns the reconfiguration strategy in use.
+func (n *Node) Strategy() reconfig.Strategy { return n.strategy }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Peers returns a copy of the direct-peer set.
+func (n *Node) Peers() []Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Peer(nil), n.peers...)
+}
+
+// PeerAddrs returns the direct peers' addresses, sorted.
+func (n *Node) PeerAddrs() []string {
+	peers := n.Peers()
+	out := make([]string, len(peers))
+	for i, p := range peers {
+		out[i] = p.Addr
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetPeers replaces the direct-peer set (used by topology builders and
+// tests). The set is clamped to MaxPeers.
+func (n *Node) SetPeers(peers []Peer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(peers) > n.cfg.MaxPeers {
+		peers = peers[:n.cfg.MaxPeers]
+	}
+	n.peers = append([]Peer(nil), peers...)
+}
+
+// AddPeer appends a direct peer if there is room and it is not already
+// present. It reports whether the peer was added.
+func (n *Node) AddPeer(p Peer) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, q := range n.peers {
+		if q.Addr == p.Addr {
+			return false
+		}
+	}
+	if len(n.peers) >= n.cfg.MaxPeers {
+		return false
+	}
+	n.peers = append(n.peers, p)
+	return true
+}
+
+// AdoptIdentity installs a BPID issued in an earlier session, so a
+// restarted node keeps its identity and can Rejoin instead of
+// re-registering.
+func (n *Node) AdoptIdentity(id wire.BPID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.id = id
+}
+
+// Join registers with the first accepting LIGLO server, adopting the
+// returned BPID and initial peer list.
+func (n *Node) Join(servers []string) error {
+	id, peers, err := n.lgc.RegisterAny(servers, n.Addr())
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.id = id
+	n.peers = n.peers[:0]
+	for _, p := range peers {
+		if len(n.peers) >= n.cfg.MaxPeers {
+			break
+		}
+		n.peers = append(n.peers, Peer{ID: p.ID, Addr: p.Addr})
+	}
+	count := len(n.peers)
+	n.mu.Unlock()
+	n.log.Info("joined bestpeer network", "bpid", id.String(), "initial_peers", count)
+	return nil
+}
+
+// Rejoin re-announces the node's current address to its LIGLO server and
+// refreshes every peer's address via that peer's own LIGLO (§2). Peers
+// that are offline or unknown are dropped — the node will meet new peers
+// through reconfiguration.
+func (n *Node) Rejoin() error {
+	n.mu.Lock()
+	id := n.id
+	peers := append([]Peer(nil), n.peers...)
+	n.mu.Unlock()
+	if id.IsZero() {
+		return errors.New("core: Rejoin before Join")
+	}
+	if err := n.lgc.Rejoin(id, n.Addr()); err != nil {
+		return err
+	}
+	var fresh []Peer
+	for _, p := range peers {
+		if p.ID.IsZero() {
+			fresh = append(fresh, p) // no identity to check; keep as-is
+			continue
+		}
+		addr, online, err := n.lgc.Lookup(p.ID)
+		if err != nil || !online {
+			continue
+		}
+		p.Addr = addr
+		fresh = append(fresh, p)
+	}
+	n.mu.Lock()
+	n.peers = fresh
+	n.mu.Unlock()
+	return nil
+}
+
+// Close shuts the node down. The store is not closed — the caller owns it.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	return n.msgr.Close()
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// send delivers an envelope, ignoring transport errors to individual
+// peers: an unreachable peer must not break a broadcast.
+func (n *Node) send(to string, env *wire.Envelope) {
+	if err := n.msgr.Send(to, env); err != nil {
+		// The peer is gone or unreachable. Reconfiguration and Rejoin
+		// handle peer-set repair; dropping here matches the paper's
+		// "simply replace those peers" behaviour.
+		return
+	}
+}
+
+func (n *Node) bump(f func(*Stats)) {
+	n.mu.Lock()
+	f(&n.stats)
+	n.mu.Unlock()
+}
+
+// String describes the node.
+func (n *Node) String() string {
+	return fmt.Sprintf("bestpeer(%s, id=%v, peers=%d)", n.Addr(), n.ID(), len(n.Peers()))
+}
+
+// probeTimeout bounds synchronous helper waits.
+const probeTimeout = 5 * time.Second

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bestpeer/internal/wire"
+)
+
+// ErrBadMessage reports a malformed core-protocol payload.
+var ErrBadMessage = errors.New("core: malformed message")
+
+// classWant asks the previous hop for an agent class the receiver lacks.
+type classWant struct {
+	Class string
+}
+
+// classShip carries a class payload to a node that requested it.
+type classShip struct {
+	Class string
+	Code  []byte
+}
+
+// fetchReq is the mode-2 follow-up: after receiving hints, the base node
+// asks an answering peer for the actual content of named objects.
+type fetchReq struct {
+	// Names are the objects to retrieve.
+	Names []string
+	// Base is where to send the data.
+	Base string
+	// BaseID identifies the requester for access control.
+	BaseID wire.BPID
+	// AccessLevel is the requester's clearance.
+	AccessLevel int
+}
+
+func encodeClassWant(w *classWant) []byte {
+	var e wire.Encoder
+	e.String(w.Class)
+	return e.Bytes()
+}
+
+func decodeClassWant(b []byte) (*classWant, error) {
+	d := wire.NewDecoder(b)
+	w := &classWant{Class: d.String()}
+	if err := d.Finish(); err != nil || w.Class == "" {
+		return nil, fmt.Errorf("%w: class-want", ErrBadMessage)
+	}
+	return w, nil
+}
+
+func encodeClassShip(s *classShip) []byte {
+	var e wire.Encoder
+	e.String(s.Class)
+	e.Bytes2(s.Code)
+	return e.Bytes()
+}
+
+func decodeClassShip(b []byte) (*classShip, error) {
+	d := wire.NewDecoder(b)
+	s := &classShip{Class: d.String(), Code: d.Bytes2()}
+	if err := d.Finish(); err != nil || s.Class == "" {
+		return nil, fmt.Errorf("%w: class-ship", ErrBadMessage)
+	}
+	return s, nil
+}
+
+func encodeFetchReq(f *fetchReq) []byte {
+	var e wire.Encoder
+	e.Uvarint(uint64(len(f.Names)))
+	for _, n := range f.Names {
+		e.String(n)
+	}
+	e.String(f.Base)
+	e.BPID(f.BaseID)
+	e.Varint(int64(f.AccessLevel))
+	return e.Bytes()
+}
+
+func decodeFetchReq(b []byte) (*fetchReq, error) {
+	d := wire.NewDecoder(b)
+	n := d.Uvarint()
+	if n > uint64(wire.MaxFrameSize) {
+		return nil, fmt.Errorf("%w: fetch", ErrBadMessage)
+	}
+	f := &fetchReq{}
+	for i := uint64(0); i < n; i++ {
+		f.Names = append(f.Names, d.String())
+	}
+	f.Base = d.String()
+	f.BaseID = d.BPID()
+	f.AccessLevel = int(d.Varint())
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: fetch: %v", ErrBadMessage, err)
+	}
+	return f, nil
+}

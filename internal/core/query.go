@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/reconfig"
+	"bestpeer/internal/wire"
+)
+
+// QueryOptions tunes one query broadcast.
+type QueryOptions struct {
+	// TTL overrides the node's default agent lifetime.
+	TTL uint8
+	// Mode selects answer handling: 1 (default) peers return data
+	// directly; 2 peers return hints and the base fetches on demand.
+	Mode uint8
+	// Timeout is the collection window. Zero defaults to one second.
+	Timeout time.Duration
+	// WaitAnswers stops collection early once this many answers have
+	// arrived. Zero waits out the full timeout.
+	WaitAnswers int
+	// NoReconfigure suppresses the post-query peer-set update.
+	NoReconfigure bool
+	// SkipLocal leaves the node's own store out of the result set.
+	SkipLocal bool
+}
+
+// Answer is one result attributed to the peer that produced it.
+type Answer struct {
+	// PeerAddr is the answering peer's address.
+	PeerAddr string
+	// PeerID is its BestPeer identity (zero if it has none).
+	PeerID wire.BPID
+	// Hops is how far the agent had travelled when it matched.
+	Hops int
+	// Result is the matched object (Data empty for hints).
+	Result agent.Result
+	// At is when the answer arrived, measured from query start.
+	At time.Duration
+}
+
+// QueryResult is everything a query produced.
+type QueryResult struct {
+	// ID is the query identifier.
+	ID wire.MsgID
+	// Answers holds full results (mode 1, plus local matches).
+	Answers []Answer
+	// Hints holds name-only results (mode 2).
+	Hints []Answer
+	// Elapsed is the total collection time.
+	Elapsed time.Duration
+	// Reconfigured reports whether the peer set changed afterwards.
+	Reconfigured bool
+}
+
+// queryState accumulates answers for an outstanding query.
+type queryState struct {
+	mu      sync.Mutex
+	start   time.Time
+	answers []Answer
+	hints   []Answer
+	target  int
+	done    chan struct{}
+	closed  bool
+	replied bool
+}
+
+func newQueryState(target int) *queryState {
+	return &queryState{start: time.Now(), target: target, done: make(chan struct{})}
+}
+
+func (q *queryState) deliver(batch *agent.ResultBatch, hint bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.replied = true
+	at := time.Since(q.start)
+	for _, r := range batch.Results {
+		a := Answer{
+			PeerAddr: batch.FromAddr,
+			PeerID:   batch.From,
+			Hops:     batch.Hops,
+			Result:   r,
+			At:       at,
+		}
+		if hint {
+			q.hints = append(q.hints, a)
+		} else {
+			q.answers = append(q.answers, a)
+		}
+	}
+	if q.target > 0 && len(q.answers)+len(q.hints) >= q.target {
+		q.closed = true
+		close(q.done)
+	}
+}
+
+func (q *queryState) snapshot() ([]Answer, []Answer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]Answer(nil), q.answers...), append([]Answer(nil), q.hints...)
+}
+
+// Query broadcasts ag to the network and collects answers. After
+// collection the node reconfigures its direct-peer set with its strategy
+// (unless disabled). Query is safe to call from multiple goroutines.
+func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
+	if n.isClosed() {
+		return nil, ErrNodeClosed
+	}
+	state, err := ag.State()
+	if err != nil {
+		return nil, fmt.Errorf("core: serializing agent: %w", err)
+	}
+	ttl := opts.TTL
+	if ttl == 0 {
+		ttl = n.cfg.DefaultTTL
+	}
+	mode := opts.Mode
+	if mode == 0 {
+		mode = 1
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+
+	qid := wire.NewMsgID()
+	n.seen.Seen(qid) // never re-execute our own agent if it loops back
+	qs := newQueryState(opts.WaitAnswers)
+	n.queries.Store(qid, qs)
+	defer n.queries.Delete(qid)
+
+	packet := &agent.Packet{
+		Class:       ag.Class(),
+		State:       state,
+		Base:        n.Addr(),
+		BaseID:      n.ID(),
+		AccessLevel: n.cfg.AccessLevel,
+		Mode:        mode,
+	}
+	body := agent.EncodePacket(packet)
+
+	// Local execution: the base node's own sharable data participates.
+	if !opts.SkipLocal {
+		ctx := &agent.Context{
+			Store:       n.store,
+			NodeAddr:    n.Addr(),
+			Hops:        0,
+			Requester:   n.ID(),
+			AccessLevel: n.cfg.AccessLevel,
+			ActiveNodes: n.active,
+		}
+		if local, err := ag.Execute(ctx); err == nil && len(local) > 0 {
+			if mode == 2 {
+				// Hints carry names only, local ones included.
+				stripped := make([]agent.Result, len(local))
+				for i, r := range local {
+					stripped[i] = agent.Result{Name: r.Name}
+				}
+				local = stripped
+			}
+			qs.deliver(&agent.ResultBatch{
+				FromAddr: n.Addr(), From: n.ID(), Hops: 0, Results: local,
+			}, mode == 2)
+		}
+	}
+
+	// Clone to every direct peer in parallel (the transport fans out).
+	me := n.Addr()
+	for _, p := range n.Peers() {
+		env := &wire.Envelope{
+			Kind: wire.KindAgent,
+			ID:   qid,
+			TTL:  ttl,
+			Hops: 1, // arriving at a direct peer means one hop travelled
+			From: me,
+			To:   p.Addr,
+			Body: body,
+		}
+		n.send(p.Addr, env)
+	}
+
+	select {
+	case <-qs.done:
+	case <-time.After(timeout):
+	}
+	answers, hints := qs.snapshot()
+
+	res := &QueryResult{
+		ID:      qid,
+		Answers: answers,
+		Hints:   hints,
+		Elapsed: time.Since(qs.start),
+	}
+	if !opts.NoReconfigure {
+		res.Reconfigured = n.reconfigure(answers, hints)
+	}
+	return res, nil
+}
+
+// reconfigure applies the node's strategy to what this query revealed:
+// every answering peer plus every current direct peer is scored, the
+// strategy picks the best k, and any remaining slots are refilled with
+// current peers so the node never strands itself.
+func (n *Node) reconfigure(answers, hints []Answer) bool {
+	me := n.Addr()
+	direct := make(map[string]Peer)
+	n.mu.Lock()
+	for _, p := range n.peers {
+		direct[p.Addr] = p
+	}
+	k := n.cfg.MaxPeers
+	oldPeers := append([]Peer(nil), n.peers...)
+	n.mu.Unlock()
+
+	byAddr := make(map[string]*reconfig.Observation)
+	note := func(a Answer) {
+		if a.PeerAddr == me || a.PeerAddr == "" {
+			return
+		}
+		o, ok := byAddr[a.PeerAddr]
+		if !ok {
+			_, isDirect := direct[a.PeerAddr]
+			o = &reconfig.Observation{
+				ID:     a.PeerID,
+				Addr:   a.PeerAddr,
+				Hops:   a.Hops,
+				Direct: isDirect,
+			}
+			byAddr[a.PeerAddr] = o
+		}
+		o.Answers++
+		o.Bytes += len(a.Result.Data)
+		if a.Hops > o.Hops {
+			o.Hops = a.Hops
+		}
+	}
+	for _, a := range answers {
+		note(a)
+	}
+	for _, a := range hints {
+		note(a)
+	}
+	// Current direct peers that did not answer still compete (with zero
+	// answers), so Static keeps them and MaxCount may drop them.
+	for addr, p := range direct {
+		if _, ok := byAddr[addr]; !ok {
+			byAddr[addr] = &reconfig.Observation{ID: p.ID, Addr: addr, Direct: true, Hops: 1}
+		}
+	}
+
+	obs := make([]reconfig.Observation, 0, len(byAddr))
+	for _, o := range byAddr {
+		obs = append(obs, *o)
+	}
+	// The effective budget never shrinks the node below its current
+	// degree: promotion must not disconnect it from regions only
+	// reachable through existing peers.
+	if len(oldPeers) > k {
+		k = len(oldPeers)
+	}
+	selected := n.strategy.Select(obs, k)
+
+	// Figure-2 semantics: current peers are retained; the strategy ranks
+	// which newly observed peers fill the remaining budget. Dead peers
+	// are dropped by Rejoin, freeing slots.
+	newSet := append([]Peer(nil), oldPeers...)
+	chosen := make(map[string]bool, k)
+	for _, p := range newSet {
+		chosen[p.Addr] = true
+	}
+	for _, o := range selected {
+		if len(newSet) >= k {
+			break
+		}
+		if !chosen[o.Addr] {
+			newSet = append(newSet, Peer{ID: o.ID, Addr: o.Addr})
+			chosen[o.Addr] = true
+		}
+	}
+
+	changed := len(newSet) != len(oldPeers)
+	if !changed {
+		old := make(map[string]bool, len(oldPeers))
+		for _, p := range oldPeers {
+			old[p.Addr] = true
+		}
+		for _, p := range newSet {
+			if !old[p.Addr] {
+				changed = true
+				break
+			}
+		}
+	}
+	if changed {
+		n.mu.Lock()
+		n.peers = newSet
+		n.stats.Reconfigs++
+		n.mu.Unlock()
+		addrs := make([]string, len(newSet))
+		for i, p := range newSet {
+			addrs[i] = p.Addr
+		}
+		n.log.Info("reconfigured peer set", "strategy", n.strategy.Name(), "peers", addrs)
+	}
+	return changed
+}
+
+// Fetch performs the mode-2 follow-up: retrieve the named objects from a
+// peer that hinted it has them. The transfer is out-of-network — a direct
+// exchange with that peer.
+func (n *Node) Fetch(peerAddr string, names []string, timeout time.Duration) ([]agent.Result, error) {
+	if n.isClosed() {
+		return nil, ErrNodeClosed
+	}
+	if timeout <= 0 {
+		timeout = probeTimeout
+	}
+	fid := wire.NewMsgID()
+	qs := newQueryState(0)
+	n.queries.Store(fid, qs)
+	defer n.queries.Delete(fid)
+
+	n.send(peerAddr, &wire.Envelope{
+		Kind: wire.KindFetch,
+		ID:   fid,
+		TTL:  1,
+		From: n.Addr(),
+		To:   peerAddr,
+		Body: encodeFetchReq(&fetchReq{
+			Names:       names,
+			Base:        n.Addr(),
+			BaseID:      n.ID(),
+			AccessLevel: n.cfg.AccessLevel,
+		}),
+	})
+
+	// One reply batch is expected; poll the state until it lands.
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		answers, _ := qs.snapshot()
+		if len(answers) > 0 || fetchReplied(qs) {
+			out := make([]agent.Result, len(answers))
+			for i, a := range answers {
+				out[i] = a.Result
+			}
+			return out, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("core: fetch from %s timed out", peerAddr)
+}
+
+// fetchReplied reports whether a (possibly empty) reply batch arrived.
+func fetchReplied(qs *queryState) bool {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.replied
+}
+
+// Probe checks whether a peer is alive by round-tripping a probe message.
+func (n *Node) Probe(addr string, timeout time.Duration) bool {
+	if timeout <= 0 {
+		timeout = probeTimeout
+	}
+	id := wire.NewMsgID()
+	ch := make(chan struct{})
+	n.probes.Store(id, ch)
+	defer n.probes.Delete(id)
+	n.send(addr, &wire.Envelope{
+		Kind: wire.KindPeerProbe, ID: id, TTL: 1, From: n.Addr(), To: addr,
+	})
+	select {
+	case <-ch:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// deliverProbe completes an outstanding probe.
+func (n *Node) deliverProbe(id wire.MsgID) {
+	if v, ok := n.probes.Load(id); ok {
+		select {
+		case <-v.(chan struct{}):
+		default:
+			close(v.(chan struct{}))
+		}
+		n.probes.Delete(id)
+	}
+}

@@ -1,0 +1,166 @@
+package liglo
+
+import (
+	"errors"
+	"fmt"
+
+	"bestpeer/internal/transport"
+	"bestpeer/internal/wire"
+)
+
+// Client talks to LIGLO servers. Connections are per-call: registration
+// and rejoin happen once per session and lookups are rare, so caching
+// buys nothing and a stateless client is simpler to reason about.
+type Client struct {
+	network transport.Network
+}
+
+// NewClient returns a client that dials over the given network.
+func NewClient(network transport.Network) *Client {
+	return &Client{network: network}
+}
+
+// call performs one request/response exchange with a server.
+func (c *Client) call(server string, req *wire.Envelope) (*wire.Envelope, error) {
+	conn, err := c.network.Dial(server)
+	if err != nil {
+		return nil, fmt.Errorf("liglo: dial %s: %w", server, err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	if err := wc.Send(req); err != nil {
+		return nil, fmt.Errorf("liglo: send to %s: %w", server, err)
+	}
+	resp, err := wc.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("liglo: recv from %s: %w", server, err)
+	}
+	return resp, nil
+}
+
+// Register asks the server for a BPID, reporting myAddr as the current
+// address. It returns the issued identity and the initial direct-peer
+// list. A capacity-limited server returns ErrFull — seek another server.
+func (c *Client) Register(server, myAddr string) (wire.BPID, []PeerInfo, error) {
+	req := &wire.Envelope{
+		Kind: wire.KindLigloRegister,
+		ID:   wire.NewMsgID(),
+		TTL:  1,
+		Body: encodeRegisterReq(&registerReq{Addr: myAddr}),
+	}
+	resp, err := c.call(server, req)
+	if err != nil {
+		return wire.BPID{}, nil, err
+	}
+	r, err := decodeRegisterResp(resp.Body)
+	if err != nil {
+		return wire.BPID{}, nil, err
+	}
+	if r.Err != "" {
+		if r.Err == ErrFull.Error() {
+			return wire.BPID{}, nil, ErrFull
+		}
+		return wire.BPID{}, nil, errors.New(r.Err)
+	}
+	return r.ID, r.Peers, nil
+}
+
+// RegisterAny tries each server in order until one accepts — the paper's
+// "the node has to seek for another LIGLO" behaviour when a server is at
+// capacity or down.
+func (c *Client) RegisterAny(servers []string, myAddr string) (wire.BPID, []PeerInfo, error) {
+	var lastErr error
+	for _, s := range servers {
+		id, peers, err := c.Register(s, myAddr)
+		if err == nil {
+			return id, peers, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("liglo: no servers given")
+	}
+	return wire.BPID{}, nil, lastErr
+}
+
+// Rejoin reports the node's current address to its home server after a
+// reconnect.
+func (c *Client) Rejoin(id wire.BPID, myAddr string) error {
+	req := &wire.Envelope{
+		Kind: wire.KindLigloRejoin,
+		ID:   wire.NewMsgID(),
+		TTL:  1,
+		Body: encodeRejoinReq(&rejoinReq{ID: id, Addr: myAddr}),
+	}
+	resp, err := c.call(id.LIGLO, req)
+	if err != nil {
+		return err
+	}
+	r, err := decodeRejoinResp(resp.Body)
+	if err != nil {
+		return err
+	}
+	if r.Err != "" {
+		switch r.Err {
+		case ErrUnknown.Error():
+			return ErrUnknown
+		case ErrWrongHome.Error():
+			return ErrWrongHome
+		}
+		return errors.New(r.Err)
+	}
+	return nil
+}
+
+// Lookup resolves a peer's current address and online status by asking
+// the peer's home server (extracted from the BPID).
+func (c *Client) Lookup(id wire.BPID) (addr string, online bool, err error) {
+	req := &wire.Envelope{
+		Kind: wire.KindLigloLookup,
+		ID:   wire.NewMsgID(),
+		TTL:  1,
+		Body: encodeLookupReq(&lookupReq{ID: id}),
+	}
+	resp, err := c.call(id.LIGLO, req)
+	if err != nil {
+		return "", false, err
+	}
+	r, err := decodeLookupResp(resp.Body)
+	if err != nil {
+		return "", false, err
+	}
+	if r.Err != "" {
+		if r.Err == ErrWrongHome.Error() {
+			return "", false, ErrWrongHome
+		}
+		return "", false, errors.New(r.Err)
+	}
+	if !r.Found {
+		return "", false, fmt.Errorf("%w: %v", ErrUnknown, id)
+	}
+	return r.Addr, r.Online, nil
+}
+
+// Peers asks a server for up to max online members (excluding self, when
+// self was issued by that server). Use it to replenish a depleted peer
+// set without re-registering.
+func (c *Client) Peers(server string, self wire.BPID, max int) ([]PeerInfo, error) {
+	req := &wire.Envelope{
+		Kind: wire.KindLigloPeers,
+		ID:   wire.NewMsgID(),
+		TTL:  1,
+		Body: encodePeersReq(&peersReq{Self: self, Max: max}),
+	}
+	resp, err := c.call(server, req)
+	if err != nil {
+		return nil, err
+	}
+	r, err := decodePeersResp(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if r.Err != "" {
+		return nil, errors.New(r.Err)
+	}
+	return r.Peers, nil
+}

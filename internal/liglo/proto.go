@@ -1,0 +1,233 @@
+// Package liglo implements the Location-Independent GLObal names lookup
+// server and its client. A LIGLO server issues BestPeer identities
+// (BPIDs), tracks each member's current address and online status, and
+// answers lookups so peers can find each other across address changes.
+//
+// LIGLO is deliberately distributed: any number of servers coexist, each
+// responsible only for the uniqueness of its own members' NodeIDs, and a
+// capacity-limited server rejects new registrations so the node seeks
+// another server (§3.4 of the paper).
+package liglo
+
+import (
+	"errors"
+	"fmt"
+
+	"bestpeer/internal/wire"
+)
+
+// Protocol errors.
+var (
+	ErrBadRequest = errors.New("liglo: malformed request")
+	ErrFull       = errors.New("liglo: server at capacity, seek another LIGLO")
+	ErrUnknown    = errors.New("liglo: unknown member")
+	ErrWrongHome  = errors.New("liglo: BPID belongs to a different server")
+)
+
+// PeerInfo pairs a member's identity with its last known address, as in
+// the (BPID, IP) pairs LIGLO hands a newly registered node.
+type PeerInfo struct {
+	ID   wire.BPID
+	Addr string
+}
+
+// registerReq asks for a BPID. Addr is the registrant's current address.
+type registerReq struct {
+	Addr string
+}
+
+// registerResp carries the issued BPID and an initial direct-peer list.
+type registerResp struct {
+	Err   string
+	ID    wire.BPID
+	Peers []PeerInfo
+}
+
+// rejoinReq reports a member's current address after reconnecting.
+type rejoinReq struct {
+	ID   wire.BPID
+	Addr string
+}
+
+// rejoinResp acknowledges a rejoin.
+type rejoinResp struct {
+	Err string
+}
+
+// lookupReq resolves a member's current address and status.
+type lookupReq struct {
+	ID wire.BPID
+}
+
+// lookupResp answers a lookup. Online reflects the server's best
+// knowledge — members are not obliged to announce disconnects, so the
+// validator refreshes this periodically.
+type lookupResp struct {
+	Err    string
+	Found  bool
+	Addr   string
+	Online bool
+}
+
+func encodeRegisterReq(r *registerReq) []byte {
+	var e wire.Encoder
+	e.String(r.Addr)
+	return e.Bytes()
+}
+
+func decodeRegisterReq(b []byte) (*registerReq, error) {
+	d := wire.NewDecoder(b)
+	r := &registerReq{Addr: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
+func encodeRegisterResp(r *registerResp) []byte {
+	var e wire.Encoder
+	e.String(r.Err)
+	e.BPID(r.ID)
+	e.Uvarint(uint64(len(r.Peers)))
+	for _, p := range r.Peers {
+		e.BPID(p.ID)
+		e.String(p.Addr)
+	}
+	return e.Bytes()
+}
+
+func decodeRegisterResp(b []byte) (*registerResp, error) {
+	d := wire.NewDecoder(b)
+	r := &registerResp{Err: d.String(), ID: d.BPID()}
+	n := d.Uvarint()
+	if n > uint64(wire.MaxFrameSize) {
+		return nil, ErrBadRequest
+	}
+	for i := uint64(0); i < n; i++ {
+		r.Peers = append(r.Peers, PeerInfo{ID: d.BPID(), Addr: d.String()})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
+func encodeRejoinReq(r *rejoinReq) []byte {
+	var e wire.Encoder
+	e.BPID(r.ID)
+	e.String(r.Addr)
+	return e.Bytes()
+}
+
+func decodeRejoinReq(b []byte) (*rejoinReq, error) {
+	d := wire.NewDecoder(b)
+	r := &rejoinReq{ID: d.BPID(), Addr: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
+func encodeRejoinResp(r *rejoinResp) []byte {
+	var e wire.Encoder
+	e.String(r.Err)
+	return e.Bytes()
+}
+
+func decodeRejoinResp(b []byte) (*rejoinResp, error) {
+	d := wire.NewDecoder(b)
+	r := &rejoinResp{Err: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
+func encodeLookupReq(r *lookupReq) []byte {
+	var e wire.Encoder
+	e.BPID(r.ID)
+	return e.Bytes()
+}
+
+func decodeLookupReq(b []byte) (*lookupReq, error) {
+	d := wire.NewDecoder(b)
+	r := &lookupReq{ID: d.BPID()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
+func encodeLookupResp(r *lookupResp) []byte {
+	var e wire.Encoder
+	e.String(r.Err)
+	e.Bool(r.Found)
+	e.String(r.Addr)
+	e.Bool(r.Online)
+	return e.Bytes()
+}
+
+func decodeLookupResp(b []byte) (*lookupResp, error) {
+	d := wire.NewDecoder(b)
+	r := &lookupResp{Err: d.String(), Found: d.Bool(), Addr: d.String(), Online: d.Bool()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
+// peersReq asks the server for a fresh list of online members, excluding
+// the requester — how a node replenishes its peer set after drops.
+type peersReq struct {
+	Self wire.BPID // zero if the requester is not a member of this server
+	Max  int
+}
+
+// peersResp carries the peer list.
+type peersResp struct {
+	Err   string
+	Peers []PeerInfo
+}
+
+func encodePeersReq(r *peersReq) []byte {
+	var e wire.Encoder
+	e.BPID(r.Self)
+	e.Varint(int64(r.Max))
+	return e.Bytes()
+}
+
+func decodePeersReq(b []byte) (*peersReq, error) {
+	d := wire.NewDecoder(b)
+	r := &peersReq{Self: d.BPID(), Max: int(d.Varint())}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
+func encodePeersResp(r *peersResp) []byte {
+	var e wire.Encoder
+	e.String(r.Err)
+	e.Uvarint(uint64(len(r.Peers)))
+	for _, p := range r.Peers {
+		e.BPID(p.ID)
+		e.String(p.Addr)
+	}
+	return e.Bytes()
+}
+
+func decodePeersResp(b []byte) (*peersResp, error) {
+	d := wire.NewDecoder(b)
+	r := &peersResp{Err: d.String()}
+	n := d.Uvarint()
+	if n > uint64(wire.MaxFrameSize) {
+		return nil, ErrBadRequest
+	}
+	for i := uint64(0); i < n; i++ {
+		r.Peers = append(r.Peers, PeerInfo{ID: d.BPID(), Addr: d.String()})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,359 @@
+package liglo
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"bestpeer/internal/transport"
+	"bestpeer/internal/wire"
+)
+
+// ServerConfig tunes a LIGLO server.
+type ServerConfig struct {
+	// Capacity caps the number of members; further registrations are
+	// rejected with ErrFull so the node seeks another server. Zero means
+	// unlimited.
+	Capacity int
+	// InitialPeers is how many (BPID, addr) pairs a fresh registrant
+	// receives as its starting direct peers. Zero defaults to 5.
+	InitialPeers int
+	// ProbeInterval is how often the validator checks member liveness.
+	// Zero disables automatic probing (CheckNow remains available).
+	ProbeInterval time.Duration
+	// ExpireAfter drops members that have been offline longer than this
+	// (as observed by the validator), freeing capacity and keeping the
+	// member table bounded. Zero never expires — a member's BPID is
+	// normally valid forever, so expiry is an operator policy.
+	ExpireAfter time.Duration
+}
+
+type member struct {
+	node     uint64
+	addr     string
+	online   bool
+	lastSeen time.Time
+}
+
+// Server is one LIGLO server: it issues BPIDs, records member addresses
+// and validates their liveness.
+type Server struct {
+	network  transport.Network
+	listener net.Listener
+	cfg      ServerConfig
+
+	mu      sync.Mutex
+	nextID  uint64
+	members map[uint64]*member
+	closed  bool
+
+	wg        sync.WaitGroup
+	stopProbe chan struct{}
+
+	// Stats.
+	Registers uint64
+	Rejoins   uint64
+	Lookups   uint64
+	Rejected  uint64
+	Expired   uint64
+}
+
+// NewServer binds addr on the network and starts serving. The bound
+// address (Addr) is the server's LIGLOID.
+func NewServer(network transport.Network, addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.InitialPeers <= 0 {
+		cfg.InitialPeers = 5
+	}
+	l, err := network.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		network:   network,
+		listener:  l,
+		cfg:       cfg,
+		members:   make(map[uint64]*member),
+		stopProbe: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if cfg.ProbeInterval > 0 {
+		s.wg.Add(1)
+		go s.probeLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the server's address — the LIGLOID embedded in every BPID
+// it issues.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Members returns the number of registered members.
+func (s *Server) Members() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.members)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn serves request/response exchanges on one connection until
+// the client hangs up.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	for {
+		req, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(req)
+		if resp == nil {
+			return // unintelligible request: drop the connection
+		}
+		if err := wc.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *wire.Envelope) *wire.Envelope {
+	switch req.Kind {
+	case wire.KindLigloRegister:
+		r, err := decodeRegisterReq(req.Body)
+		if err != nil {
+			return nil
+		}
+		return s.handleRegister(r)
+	case wire.KindLigloRejoin:
+		r, err := decodeRejoinReq(req.Body)
+		if err != nil {
+			return nil
+		}
+		return s.handleRejoin(r)
+	case wire.KindLigloLookup:
+		r, err := decodeLookupReq(req.Body)
+		if err != nil {
+			return nil
+		}
+		return s.handleLookup(r)
+	case wire.KindLigloPeers:
+		r, err := decodePeersReq(req.Body)
+		if err != nil {
+			return nil
+		}
+		return s.handlePeers(r)
+	default:
+		return nil
+	}
+}
+
+func reply(kind wire.Kind, body []byte) *wire.Envelope {
+	return &wire.Envelope{Kind: kind, ID: wire.NewMsgID(), TTL: 1, Body: body}
+}
+
+func (s *Server) handleRegister(r *registerReq) *wire.Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.cfg.Capacity > 0 && len(s.members) >= s.cfg.Capacity {
+		s.Rejected++
+		return reply(wire.KindLigloRegisterd, encodeRegisterResp(&registerResp{Err: ErrFull.Error()}))
+	}
+	s.nextID++
+	m := &member{node: s.nextID, addr: r.Addr, online: true, lastSeen: time.Now()}
+	peers := s.peerListLocked(m.node)
+	s.members[m.node] = m
+	s.Registers++
+
+	return reply(wire.KindLigloRegisterd, encodeRegisterResp(&registerResp{
+		ID:    wire.BPID{LIGLO: s.Addr(), Node: m.node},
+		Peers: peers,
+	}))
+}
+
+// peerListLocked selects up to InitialPeers online members (excluding
+// self) as the registrant's starting direct peers, preferring the most
+// recently seen. Caller holds s.mu.
+func (s *Server) peerListLocked(exclude uint64) []PeerInfo {
+	var online []*member
+	for _, m := range s.members {
+		if m.node != exclude && m.online {
+			online = append(online, m)
+		}
+	}
+	sort.Slice(online, func(i, j int) bool {
+		if !online[i].lastSeen.Equal(online[j].lastSeen) {
+			return online[i].lastSeen.After(online[j].lastSeen)
+		}
+		return online[i].node < online[j].node
+	})
+	if len(online) > s.cfg.InitialPeers {
+		online = online[:s.cfg.InitialPeers]
+	}
+	peers := make([]PeerInfo, 0, len(online))
+	for _, m := range online {
+		peers = append(peers, PeerInfo{
+			ID:   wire.BPID{LIGLO: s.Addr(), Node: m.node},
+			Addr: m.addr,
+		})
+	}
+	return peers
+}
+
+func (s *Server) handleRejoin(r *rejoinReq) *wire.Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.ID.LIGLO != s.Addr() {
+		return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{Err: ErrWrongHome.Error()}))
+	}
+	m, ok := s.members[r.ID.Node]
+	if !ok {
+		return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{Err: ErrUnknown.Error()}))
+	}
+	m.addr = r.Addr
+	m.online = true
+	m.lastSeen = time.Now()
+	s.Rejoins++
+	return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{}))
+}
+
+func (s *Server) handleLookup(r *lookupReq) *wire.Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Lookups++
+	if r.ID.LIGLO != s.Addr() {
+		return reply(wire.KindLigloStatus, encodeLookupResp(&lookupResp{Err: ErrWrongHome.Error()}))
+	}
+	m, ok := s.members[r.ID.Node]
+	if !ok {
+		return reply(wire.KindLigloStatus, encodeLookupResp(&lookupResp{Found: false}))
+	}
+	return reply(wire.KindLigloStatus, encodeLookupResp(&lookupResp{
+		Found:  true,
+		Addr:   m.addr,
+		Online: m.online,
+	}))
+}
+
+// handlePeers serves a fresh list of online members, excluding the
+// requester, most-recently-seen first. This is how a member that lost
+// peers encounters new ones without re-registering.
+func (s *Server) handlePeers(r *peersReq) *wire.Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exclude := uint64(0)
+	if r.Self.LIGLO == s.Addr() {
+		exclude = r.Self.Node
+	}
+	saved := s.cfg.InitialPeers
+	if r.Max > 0 {
+		s.cfg.InitialPeers = r.Max
+	}
+	peers := s.peerListLocked(exclude)
+	s.cfg.InitialPeers = saved
+	return reply(wire.KindLigloPeersList, encodePeersResp(&peersResp{Peers: peers}))
+}
+
+// probeLoop periodically validates member addresses — members are not
+// obliged to announce disconnection, so LIGLO checks for itself.
+func (s *Server) probeLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopProbe:
+			return
+		case <-ticker.C:
+			s.CheckNow()
+		}
+	}
+}
+
+// CheckNow probes every member's address once and updates its online
+// status. Returns how many members are online after the sweep.
+func (s *Server) CheckNow() int {
+	s.mu.Lock()
+	type target struct {
+		node uint64
+		addr string
+	}
+	targets := make([]target, 0, len(s.members))
+	for _, m := range s.members {
+		targets = append(targets, target{m.node, m.addr})
+	}
+	s.mu.Unlock()
+
+	alive := make(map[uint64]bool, len(targets))
+	for _, t := range targets {
+		conn, err := s.network.Dial(t.addr)
+		if err == nil {
+			conn.Close()
+			alive[t.node] = true
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	online := 0
+	now := time.Now()
+	for node, m := range s.members {
+		if alive[node] {
+			m.online = true
+			m.lastSeen = now
+			online++
+			continue
+		}
+		m.online = false
+		if s.cfg.ExpireAfter > 0 && now.Sub(m.lastSeen) > s.cfg.ExpireAfter {
+			delete(s.members, node)
+			s.Expired++
+		}
+	}
+	return online
+}
+
+// Online reports the server's current belief about a member.
+func (s *Server) Online(id wire.BPID) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id.LIGLO != s.Addr() {
+		return false, ErrWrongHome
+	}
+	m, ok := s.members[id.Node]
+	if !ok {
+		return false, fmt.Errorf("%w: %v", ErrUnknown, id)
+	}
+	return m.online, nil
+}
+
+// Close stops the server and waits for its goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopProbe)
+	s.listener.Close()
+	s.wg.Wait()
+	return nil
+}

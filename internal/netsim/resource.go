@@ -1,0 +1,87 @@
+package netsim
+
+import "time"
+
+// Resource is a FIFO multi-server queue: up to Servers jobs are in service
+// simultaneously, the rest wait in arrival order. It models both host CPUs
+// (Servers = thread count) and link capacity (Servers = 1 gives
+// store-and-forward serialization on the link).
+type Resource struct {
+	sim     *Sim
+	servers int
+	busy    int
+	queue   []job
+
+	// Busy time accounting, for utilization reporting.
+	busySince  time.Duration
+	busyTotal  time.Duration
+	everServed uint64
+}
+
+type job struct {
+	dur  time.Duration
+	done func()
+}
+
+// NewResource creates a resource with the given number of servers
+// (must be >= 1).
+func NewResource(sim *Sim, servers int) *Resource {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Resource{sim: sim, servers: servers}
+}
+
+// Submit enqueues a job that occupies one server for dur, then calls done
+// (done may be nil). Jobs start in FIFO order as servers free up.
+func (r *Resource) Submit(dur time.Duration, done func()) {
+	if dur < 0 {
+		dur = 0
+	}
+	if r.busy < r.servers {
+		r.start(job{dur, done})
+		return
+	}
+	r.queue = append(r.queue, job{dur, done})
+}
+
+func (r *Resource) start(j job) {
+	if r.busy == 0 {
+		r.busySince = r.sim.Now()
+	}
+	r.busy++
+	r.everServed++
+	r.sim.After(j.dur, func() {
+		r.busy--
+		if r.busy == 0 {
+			r.busyTotal += r.sim.Now() - r.busySince
+		}
+		if j.done != nil {
+			j.done()
+		}
+		if len(r.queue) > 0 && r.busy < r.servers {
+			next := r.queue[0]
+			r.queue = r.queue[1:]
+			r.start(next)
+		}
+	})
+}
+
+// QueueLen returns the number of jobs waiting (not in service).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// InService returns the number of jobs currently being served.
+func (r *Resource) InService() int { return r.busy }
+
+// Served returns the total number of jobs ever started.
+func (r *Resource) Served() uint64 { return r.everServed }
+
+// BusyTime returns accumulated time during which at least one server was
+// busy. If the resource is busy now, time since it became busy is included.
+func (r *Resource) BusyTime() time.Duration {
+	t := r.busyTotal
+	if r.busy > 0 {
+		t += r.sim.Now() - r.busySince
+	}
+	return t
+}

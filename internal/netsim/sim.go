@@ -1,0 +1,115 @@
+// Package netsim is a deterministic discrete-event network simulator. It
+// stands in for the paper's dedicated 32-PC cluster: hosts with a
+// configurable number of CPU threads exchange messages over links with
+// latency and bandwidth, and all protocol work is charged simulated time.
+//
+// The simulator is deliberately generic — the BestPeer, client/server and
+// Gnutella protocol models in internal/bench are built on top of it — and
+// deterministic: two runs with the same inputs produce identical event
+// orderings and timings.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation engine. The zero value is not ready;
+// use NewSim.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	steps  uint64
+	limit  uint64 // safety valve against runaway simulations
+}
+
+// NewSim returns an engine positioned at time zero.
+func NewSim() *Sim {
+	return &Sim{limit: 50_000_000}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// At schedules fn at absolute simulated time t. Scheduling in the past
+// panics: it would violate causality and indicates a protocol-model bug.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time. Negative delays are
+// clamped to zero.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (s *Sim) Run() time.Duration {
+	for len(s.events) > 0 {
+		s.step()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t. Events scheduled later remain queued.
+func (s *Sim) RunUntil(t time.Duration) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+func (s *Sim) step() {
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.steps++
+	if s.steps > s.limit {
+		panic("netsim: event limit exceeded; simulation is likely divergent")
+	}
+	e.fn()
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }

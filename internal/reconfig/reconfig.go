@@ -1,0 +1,126 @@
+// Package reconfig implements BestPeer's self-configuration strategies
+// (§3.3 of the paper). After each query a node scores the peers it heard
+// answers from and keeps the most beneficial k as direct peers. The
+// Strategy interface is the extension point; MaxCount and MinHops are the
+// paper's two built-in policies.
+package reconfig
+
+import (
+	"sort"
+
+	"bestpeer/internal/wire"
+)
+
+// Observation is what a node learned about one peer during a query round.
+type Observation struct {
+	// ID is the peer's BestPeer identity (may be zero if unknown).
+	ID wire.BPID
+	// Addr is the peer's current address.
+	Addr string
+	// Answers is how many results the peer returned for the query.
+	Answers int
+	// Bytes is the total result payload the peer returned.
+	Bytes int
+	// Hops is how far from the base node the peer was when it answered
+	// (piggybacked on its results, as MinHops requires).
+	Hops int
+	// Direct reports whether the peer is currently a direct peer.
+	Direct bool
+}
+
+// Strategy ranks observed peers; the node keeps the top k as its direct
+// peers.
+type Strategy interface {
+	// Name identifies the strategy.
+	Name() string
+	// Select returns up to k observations, best first, to retain as
+	// direct peers. Implementations must be deterministic.
+	Select(obs []Observation, k int) []Observation
+}
+
+// MaxCount keeps the peers that returned the most answers: "a peer that
+// returns more answers can potentially satisfy future queries". Ties are
+// broken deterministically (bytes, then address) where the paper breaks
+// them arbitrarily.
+type MaxCount struct{}
+
+// Name implements Strategy.
+func (MaxCount) Name() string { return "maxcount" }
+
+// Select implements Strategy.
+func (MaxCount) Select(obs []Observation, k int) []Observation {
+	sorted := append([]Observation(nil), obs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Answers != sorted[j].Answers {
+			return sorted[i].Answers > sorted[j].Answers
+		}
+		if sorted[i].Bytes != sorted[j].Bytes {
+			return sorted[i].Bytes > sorted[j].Bytes
+		}
+		return sorted[i].Addr < sorted[j].Addr
+	})
+	return clamp(sorted, k)
+}
+
+// MinHops keeps answer-providing peers that are furthest away, so that
+// everything reachable through nearby peers stays reachable while distant
+// providers become one hop: "pick those with the larger hops values as
+// the immediate peers; in the event of ties, the one with the larger
+// number of answers is preferred."
+type MinHops struct{}
+
+// Name implements Strategy.
+func (MinHops) Name() string { return "minhops" }
+
+// Select implements Strategy.
+func (MinHops) Select(obs []Observation, k int) []Observation {
+	sorted := append([]Observation(nil), obs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Hops != sorted[j].Hops {
+			return sorted[i].Hops > sorted[j].Hops
+		}
+		if sorted[i].Answers != sorted[j].Answers {
+			return sorted[i].Answers > sorted[j].Answers
+		}
+		return sorted[i].Addr < sorted[j].Addr
+	})
+	return clamp(sorted, k)
+}
+
+// Static never reconfigures: the current direct peers are kept, which is
+// the BPS scheme in the paper's evaluation (and Gnutella's behaviour).
+type Static struct{}
+
+// Name implements Strategy.
+func (Static) Name() string { return "static" }
+
+// Select implements Strategy: keep current direct peers only.
+func (Static) Select(obs []Observation, k int) []Observation {
+	var direct []Observation
+	for _, o := range obs {
+		if o.Direct {
+			direct = append(direct, o)
+		}
+	}
+	return clamp(direct, k)
+}
+
+func clamp(obs []Observation, k int) []Observation {
+	if k >= 0 && len(obs) > k {
+		obs = obs[:k]
+	}
+	return obs
+}
+
+// ByName returns the strategy with the given name: "maxcount", "minhops"
+// or "static". Unknown names fall back to MaxCount, the paper's default.
+func ByName(name string) Strategy {
+	switch name {
+	case "minhops":
+		return MinHops{}
+	case "static":
+		return Static{}
+	default:
+		return MaxCount{}
+	}
+}

@@ -1,0 +1,175 @@
+package reconfig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func obs(addr string, answers, hops int, direct bool) Observation {
+	return Observation{Addr: addr, Answers: answers, Hops: hops, Direct: direct}
+}
+
+func addrs(sel []Observation) []string {
+	out := make([]string, len(sel))
+	for i, o := range sel {
+		out[i] = o.Addr
+	}
+	return out
+}
+
+func TestMaxCountKeepsTopAnswerers(t *testing.T) {
+	in := []Observation{
+		obs("a", 3, 1, true),
+		obs("b", 10, 2, false),
+		obs("c", 0, 1, true),
+		obs("d", 7, 3, false),
+	}
+	got := addrs(MaxCount{}.Select(in, 2))
+	if len(got) != 2 || got[0] != "b" || got[1] != "d" {
+		t.Fatalf("MaxCount selected %v", got)
+	}
+}
+
+func TestMaxCountTieBreaks(t *testing.T) {
+	in := []Observation{
+		{Addr: "z", Answers: 5, Bytes: 100},
+		{Addr: "a", Answers: 5, Bytes: 100},
+		{Addr: "m", Answers: 5, Bytes: 900},
+	}
+	got := addrs(MaxCount{}.Select(in, 3))
+	// Bytes first, then address.
+	if got[0] != "m" || got[1] != "a" || got[2] != "z" {
+		t.Fatalf("tie order = %v", got)
+	}
+}
+
+func TestMinHopsPrefersFarAnswerers(t *testing.T) {
+	in := []Observation{
+		obs("near", 9, 1, true),
+		obs("far", 2, 5, false),
+		obs("mid", 4, 3, false),
+	}
+	got := addrs(MinHops{}.Select(in, 2))
+	if got[0] != "far" || got[1] != "mid" {
+		t.Fatalf("MinHops selected %v", got)
+	}
+}
+
+func TestMinHopsTieBreaksByAnswers(t *testing.T) {
+	in := []Observation{
+		obs("few", 1, 4, false),
+		obs("many", 8, 4, false),
+	}
+	got := addrs(MinHops{}.Select(in, 1))
+	if got[0] != "many" {
+		t.Fatalf("MinHops tie selected %v", got)
+	}
+}
+
+func TestStaticKeepsOnlyCurrentDirectPeers(t *testing.T) {
+	in := []Observation{
+		obs("stranger", 99, 4, false),
+		obs("old-1", 0, 1, true),
+		obs("old-2", 1, 1, true),
+	}
+	got := addrs(Static{}.Select(in, 5))
+	if len(got) != 2 || got[0] != "old-1" || got[1] != "old-2" {
+		t.Fatalf("Static selected %v", got)
+	}
+}
+
+func TestSelectClamping(t *testing.T) {
+	in := []Observation{obs("a", 1, 1, false), obs("b", 2, 1, false)}
+	if got := (MaxCount{}).Select(in, 0); len(got) != 0 {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := (MaxCount{}).Select(in, 10); len(got) != 2 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	if got := (MaxCount{}).Select(nil, 3); len(got) != 0 {
+		t.Fatalf("empty obs returned %v", got)
+	}
+}
+
+func TestSelectDoesNotMutateInput(t *testing.T) {
+	in := []Observation{obs("a", 1, 1, false), obs("b", 9, 1, false)}
+	MaxCount{}.Select(in, 1)
+	if in[0].Addr != "a" || in[1].Addr != "b" {
+		t.Fatal("Select reordered the caller's slice")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("maxcount").Name() != "maxcount" ||
+		ByName("minhops").Name() != "minhops" ||
+		ByName("static").Name() != "static" {
+		t.Fatal("ByName mapping broken")
+	}
+	if ByName("unknown").Name() != "maxcount" {
+		t.Fatal("unknown should fall back to maxcount")
+	}
+}
+
+// Property: selections are deterministic, sized <= k, and drawn from the
+// input set; MaxCount's selection always has answer counts >= any
+// unselected observation.
+func TestStrategyProperties(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		k := int(kRaw % 8)
+		in := make([]Observation, n)
+		for i := range in {
+			in[i] = Observation{
+				Addr:    string(rune('a' + i)),
+				Answers: rng.Intn(10),
+				Bytes:   rng.Intn(1000),
+				Hops:    rng.Intn(6),
+				Direct:  rng.Intn(2) == 0,
+			}
+		}
+		for _, s := range []Strategy{MaxCount{}, MinHops{}, Static{}} {
+			sel1 := s.Select(in, k)
+			sel2 := s.Select(in, k)
+			if len(sel1) != len(sel2) || len(sel1) > k {
+				return false
+			}
+			members := make(map[string]Observation)
+			for _, o := range in {
+				members[o.Addr] = o
+			}
+			chosen := make(map[string]bool)
+			for i, o := range sel1 {
+				if sel2[i].Addr != o.Addr {
+					return false // nondeterministic
+				}
+				if _, ok := members[o.Addr]; !ok {
+					return false // invented a peer
+				}
+				if chosen[o.Addr] {
+					return false // duplicate
+				}
+				chosen[o.Addr] = true
+			}
+		}
+		// MaxCount optimality: min selected answers >= max unselected.
+		sel := MaxCount{}.Select(in, k)
+		if len(sel) == k && k > 0 {
+			minSel := sel[len(sel)-1].Answers
+			inSel := make(map[string]bool)
+			for _, o := range sel {
+				inSel[o.Addr] = true
+			}
+			for _, o := range in {
+				if !inSel[o.Addr] && o.Answers > minSel {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+package storm
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempFile(t *testing.T) *DiskFile {
+	t.Helper()
+	f, err := CreateFile(filepath.Join(t.TempDir(), "f.storm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestDiskFileCreateOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.storm")
+	f, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Page
+	if err := f.ReadPage(id, &p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert([]byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WritePage(&p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.PageCount() != 2 {
+		t.Fatalf("page count = %d", g.PageCount())
+	}
+	var q Page
+	if err := g.ReadPage(id, &q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Get(0)
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("record = %q, %v", got, err)
+	}
+}
+
+func TestDiskFileRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, make([]byte, PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDiskFileCreateRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.storm")
+	f, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := CreateFile(path); err == nil {
+		t.Fatal("CreateFile overwrote an existing file")
+	}
+}
+
+func TestDiskFileBoundsChecks(t *testing.T) {
+	f := tempFile(t)
+	var p Page
+	if err := f.ReadPage(InvalidPage, &p); err == nil {
+		t.Fatal("read of header page as data succeeded")
+	}
+	if err := f.ReadPage(99, &p); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+	p.Init(50)
+	if err := f.WritePage(&p); err == nil {
+		t.Fatal("write of unallocated page succeeded")
+	}
+}
+
+func TestDiskFileClosedOps(t *testing.T) {
+	f := tempFile(t)
+	id, _ := f.Allocate()
+	f.Close()
+	var p Page
+	if err := f.ReadPage(id, &p); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if _, err := f.Allocate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("allocate after close: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestDiskFileDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.storm")
+	f, _ := CreateFile(path)
+	id, _ := f.Allocate()
+	f.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[PageSize+200] ^= 0xFF // flip a byte inside page 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var p Page
+	if err := g.ReadPage(id, &p); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corruption undetected: %v", err)
+	}
+}
+
+func TestBufferPoolHitAndMiss(t *testing.T) {
+	f := tempFile(t)
+	bp := NewBufferPool(f, 4, NewLRU())
+	p, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID()
+	if err := bp.Unpin(id, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Fetch(id); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Hits != 1 {
+		t.Fatalf("hits = %d", bp.Hits)
+	}
+	bp.Unpin(id, false)
+	if bp.HitRate() <= 0 {
+		t.Fatalf("hit rate = %v", bp.HitRate())
+	}
+}
+
+func TestBufferPoolEvictionWritesDirty(t *testing.T) {
+	f := tempFile(t)
+	bp := NewBufferPool(f, 2, NewLRU())
+	// Fill two frames with dirty pages, then force eviction via a third.
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID())
+		if err := bp.Unpin(p.ID(), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bp.Evictions == 0 || bp.DirtyFlush == 0 {
+		t.Fatalf("evictions=%d dirtyflush=%d", bp.Evictions, bp.DirtyFlush)
+	}
+	// The evicted page's data must be readable (it was flushed).
+	p, err := bp.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := p.Get(0); err != nil || rec[0] != 0 {
+		t.Fatalf("evicted page lost data: %v %v", rec, err)
+	}
+	bp.Unpin(ids[0], false)
+}
+
+func TestBufferPoolAllPinnedFails(t *testing.T) {
+	f := tempFile(t)
+	bp := NewBufferPool(f, 2, NewLRU())
+	for i := 0; i < 2; i++ {
+		if _, err := bp.NewPage(); err != nil {
+			t.Fatal(err)
+		}
+		// Intentionally left pinned.
+	}
+	if _, err := bp.NewPage(); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("want ErrNoFrames, got %v", err)
+	}
+}
+
+func TestBufferPoolPinCounting(t *testing.T) {
+	f := tempFile(t)
+	bp := NewBufferPool(f, 2, NewLRU())
+	p, _ := bp.NewPage()
+	id := p.ID()
+	if _, err := bp.Fetch(id); err != nil { // second pin
+		t.Fatal(err)
+	}
+	if bp.PinCount(id) != 2 {
+		t.Fatalf("pin count = %d", bp.PinCount(id))
+	}
+	bp.Unpin(id, false)
+	if bp.PinCount(id) != 1 {
+		t.Fatalf("pin count = %d", bp.PinCount(id))
+	}
+	bp.Unpin(id, false)
+	if err := bp.Unpin(id, false); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("over-unpin: %v", err)
+	}
+	if err := bp.Unpin(999, false); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("unpin absent: %v", err)
+	}
+}
+
+func TestBufferPoolPinnedPagesSurviveEviction(t *testing.T) {
+	f := tempFile(t)
+	bp := NewBufferPool(f, 3, NewLRU())
+	p, _ := bp.NewPage()
+	pinned := p.ID()
+	// Churn through many other pages; the pinned page must stay resident.
+	for i := 0; i < 10; i++ {
+		q, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(q.ID(), false)
+	}
+	if !bp.Resident(pinned) {
+		t.Fatal("pinned page was evicted")
+	}
+	bp.Unpin(pinned, false)
+}
+
+func TestBufferPoolFlush(t *testing.T) {
+	f := tempFile(t)
+	bp := NewBufferPool(f, 4, NewLRU())
+	p, _ := bp.NewPage()
+	id := p.ID()
+	p.Insert([]byte("flush-me"))
+	bp.Unpin(id, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Read straight from disk, bypassing the pool.
+	var q Page
+	if err := f.ReadPage(id, &q); err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := q.Get(0); err != nil || string(rec) != "flush-me" {
+		t.Fatalf("FlushAll did not persist: %q %v", rec, err)
+	}
+	// FlushPage of a clean or absent page is a no-op.
+	if err := bp.FlushPage(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.FlushPage(777); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolCapacityFloor(t *testing.T) {
+	f := tempFile(t)
+	bp := NewBufferPool(f, 0, nil)
+	if bp.Capacity() != 1 {
+		t.Fatalf("capacity = %d", bp.Capacity())
+	}
+	if bp.Policy() != "lru" {
+		t.Fatalf("default policy = %q", bp.Policy())
+	}
+}
+
+func TestBufferPoolSequentialScanMRUBeatsLRU(t *testing.T) {
+	// The classic StorM demonstration: repeated sequential scans over a
+	// set slightly larger than the pool. LRU evicts exactly the page it
+	// will need next (zero hits); MRU retains a stable prefix.
+	run := func(rep Replacer) float64 {
+		f := tempFile(t)
+		bp := NewBufferPool(f, 8, rep)
+		var ids []PageID
+		for i := 0; i < 10; i++ {
+			p, err := bp.NewPage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, p.ID())
+			bp.Unpin(p.ID(), false)
+		}
+		bp.Hits, bp.Misses = 0, 0
+		for scan := 0; scan < 20; scan++ {
+			for _, id := range ids {
+				if _, err := bp.Fetch(id); err != nil {
+					t.Fatal(err)
+				}
+				bp.Unpin(id, false)
+			}
+		}
+		return bp.HitRate()
+	}
+	lru := run(NewLRU())
+	mru := run(NewMRU())
+	if mru <= lru {
+		t.Fatalf("MRU (%.2f) should beat LRU (%.2f) on sequential flooding", mru, lru)
+	}
+}

@@ -1,0 +1,242 @@
+package storm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File header layout (page 0, not a slotted page):
+//
+//	offset 0:  magic "STRM"
+//	offset 4:  uint16 format version
+//	offset 6:  uint32 page count (including header page)
+//	offset 10: uint32 meta root (B+tree catalog root page, 0 = none)
+//	offset 14: uint32 index root (B+tree inverted-index root, 0 = none)
+//
+// The remainder of page 0 is reserved.
+const (
+	fileMagic     = "STRM"
+	formatVersion = 2
+)
+
+// File errors.
+var (
+	ErrBadMagic   = errors.New("storm: not a storm data file")
+	ErrBadVersion = errors.New("storm: unsupported format version")
+	ErrClosed     = errors.New("storm: file is closed")
+)
+
+// DiskFile provides page-granular I/O on a single data file. It is safe
+// for concurrent use.
+type DiskFile struct {
+	mu     sync.Mutex
+	f      *os.File
+	pages  uint32 // total pages including header
+	meta   PageID // catalog B+tree root, InvalidPage when absent
+	index  PageID // inverted-index B+tree root, InvalidPage when absent
+	closed bool
+
+	// Stats.
+	Reads  uint64
+	Writes uint64
+}
+
+// CreateFile creates a new, empty data file at path, failing if it exists.
+func CreateFile(path string) (*DiskFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storm: create: %w", err)
+	}
+	df := &DiskFile{f: f, pages: 1}
+	if err := df.writeHeader(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return df, nil
+}
+
+// OpenFile opens an existing data file and validates its header.
+func OpenFile(path string) (*DiskFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storm: open: %w", err)
+	}
+	var hdr [PageSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storm: read header: %w", err)
+	}
+	if string(hdr[0:4]) != fileMagic {
+		f.Close()
+		return nil, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != formatVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	pages := binary.BigEndian.Uint32(hdr[6:10])
+	if pages == 0 {
+		pages = 1
+	}
+	meta := PageID(binary.BigEndian.Uint32(hdr[10:14]))
+	index := PageID(binary.BigEndian.Uint32(hdr[14:18]))
+	// Cross-check against the actual file size; trust the smaller so a
+	// torn header cannot direct reads past EOF.
+	if st, err := f.Stat(); err == nil {
+		byLen := uint32(st.Size() / PageSize)
+		if byLen < pages {
+			pages = byLen
+		}
+	}
+	if uint32(meta) >= pages {
+		meta = InvalidPage // torn header: ignore the stale root
+	}
+	if uint32(index) >= pages {
+		index = InvalidPage
+	}
+	return &DiskFile{f: f, pages: pages, meta: meta, index: index}, nil
+}
+
+func (d *DiskFile) writeHeader() error {
+	var hdr [PageSize]byte
+	copy(hdr[0:4], fileMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], formatVersion)
+	binary.BigEndian.PutUint32(hdr[6:10], d.pages)
+	binary.BigEndian.PutUint32(hdr[10:14], uint32(d.meta))
+	binary.BigEndian.PutUint32(hdr[14:18], uint32(d.index))
+	if _, err := d.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("storm: write header: %w", err)
+	}
+	return nil
+}
+
+// MetaRoot returns the catalog root page id recorded in the header, or
+// InvalidPage if none has been set.
+func (d *DiskFile) MetaRoot() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.meta
+}
+
+// SetMetaRoot records the catalog root page id in the header.
+func (d *DiskFile) SetMetaRoot(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.meta = id
+	return d.writeHeader()
+}
+
+// IndexRoot returns the inverted-index root page id recorded in the
+// header, or InvalidPage if none has been set.
+func (d *DiskFile) IndexRoot() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.index
+}
+
+// SetIndexRoot records the inverted-index root page id in the header.
+func (d *DiskFile) SetIndexRoot(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.index = id
+	return d.writeHeader()
+}
+
+// PageCount returns the number of pages, including the header page.
+func (d *DiskFile) PageCount() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pages
+}
+
+// Allocate extends the file by one page and returns its id. The page is
+// written initialized and sealed.
+func (d *DiskFile) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return InvalidPage, ErrClosed
+	}
+	id := PageID(d.pages)
+	var p Page
+	p.Init(id)
+	p.seal()
+	if _, err := d.f.WriteAt(p.buf[:], int64(id)*PageSize); err != nil {
+		return InvalidPage, fmt.Errorf("storm: allocate page %d: %w", id, err)
+	}
+	d.pages++
+	d.Writes++
+	if err := d.writeHeader(); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// ReadPage reads page id into p, verifying the checksum.
+func (d *DiskFile) ReadPage(id PageID, p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || uint32(id) >= d.pages {
+		return fmt.Errorf("storm: read of page %d beyond end (%d pages)", id, d.pages)
+	}
+	if _, err := d.f.ReadAt(p.buf[:], int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storm: read page %d: %w", id, err)
+	}
+	d.Reads++
+	return p.verify(id)
+}
+
+// WritePage seals p and writes it at its id.
+func (d *DiskFile) WritePage(p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	id := p.ID()
+	if id == InvalidPage || uint32(id) >= d.pages {
+		return fmt.Errorf("storm: write of unallocated page %d", id)
+	}
+	p.seal()
+	if _, err := d.f.WriteAt(p.buf[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storm: write page %d: %w", id, err)
+	}
+	d.Writes++
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (d *DiskFile) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close releases the underlying file. Further operations fail with
+// ErrClosed.
+func (d *DiskFile) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

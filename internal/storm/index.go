@@ -1,0 +1,172 @@
+package storm
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KeywordIndex is an in-memory inverted index over a store's keywords,
+// maintained incrementally and rebuilt from the pages at open. The paper's
+// StorM agent scans every object per query; the index is the natural
+// extension for nodes that answer many queries — MatchIndexed serves
+// keyword-equality hits without touching most pages.
+//
+// Name-substring matches (the second half of Object.Matches semantics)
+// cannot be served from a keyword index, so MatchIndexed unions the
+// keyword postings with a name-only scan of the catalog, which is held in
+// memory anyway.
+type KeywordIndex struct {
+	mu sync.RWMutex
+	// postings maps a lowercased keyword to the names of objects
+	// carrying it.
+	postings map[string]map[string]struct{}
+}
+
+// NewKeywordIndex builds an index over the store's current contents.
+func NewKeywordIndex(s *Store) (*KeywordIndex, error) {
+	idx := &KeywordIndex{postings: make(map[string]map[string]struct{})}
+	err := s.Scan(func(o *Object) bool {
+		idx.Add(o)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Add indexes an object's keywords.
+func (ix *KeywordIndex) Add(o *Object) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, k := range o.Keywords {
+		key := strings.ToLower(k)
+		set, ok := ix.postings[key]
+		if !ok {
+			set = make(map[string]struct{})
+			ix.postings[key] = set
+		}
+		set[o.Name] = struct{}{}
+	}
+}
+
+// Remove un-indexes an object.
+func (ix *KeywordIndex) Remove(o *Object) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, k := range o.Keywords {
+		key := strings.ToLower(k)
+		if set, ok := ix.postings[key]; ok {
+			delete(set, o.Name)
+			if len(set) == 0 {
+				delete(ix.postings, key)
+			}
+		}
+	}
+}
+
+// Lookup returns the sorted names of objects carrying the keyword.
+func (ix *KeywordIndex) Lookup(keyword string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	set := ix.postings[strings.ToLower(keyword)]
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keywords returns the sorted distinct keywords present.
+func (ix *KeywordIndex) Keywords() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.postings))
+	for k := range ix.postings {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IndexedStore couples a Store with a KeywordIndex kept consistent
+// through this wrapper's mutating methods.
+type IndexedStore struct {
+	*Store
+	idx *KeywordIndex
+}
+
+// NewIndexedStore wraps the store, building the index from its contents.
+func NewIndexedStore(s *Store) (*IndexedStore, error) {
+	idx, err := NewKeywordIndex(s)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexedStore{Store: s, idx: idx}, nil
+}
+
+// Index exposes the underlying index.
+func (s *IndexedStore) Index() *KeywordIndex { return s.idx }
+
+// Put stores the object and updates the index (including removing the
+// postings of any object it replaces).
+func (s *IndexedStore) Put(obj *Object) (OID, error) {
+	if old, err := s.Store.Get(obj.Name); err == nil {
+		s.idx.Remove(old)
+	}
+	oid, err := s.Store.Put(obj)
+	if err != nil {
+		return oid, err
+	}
+	s.idx.Add(obj)
+	return oid, nil
+}
+
+// Delete removes the object and its postings.
+func (s *IndexedStore) Delete(name string) error {
+	old, err := s.Store.Get(name)
+	if err != nil {
+		return err
+	}
+	if err := s.Store.Delete(name); err != nil {
+		return err
+	}
+	s.idx.Remove(old)
+	return nil
+}
+
+// Match returns every object matching the query with the same semantics
+// as Store.Match (keyword equality or name substring), but reads only the
+// pages holding actual hits.
+func (s *IndexedStore) Match(query string) ([]*Object, error) {
+	if query == "" {
+		return nil, nil
+	}
+	hitNames := make(map[string]struct{})
+	for _, name := range s.idx.Lookup(query) {
+		hitNames[name] = struct{}{}
+	}
+	q := strings.ToLower(query)
+	for _, name := range s.Store.Names() {
+		if strings.Contains(strings.ToLower(name), q) {
+			hitNames[name] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(hitNames))
+	for n := range hitNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	out := make([]*Object, 0, len(names))
+	for _, name := range names {
+		obj, err := s.Store.Get(name)
+		if err != nil {
+			continue // deleted concurrently
+		}
+		out = append(out, obj)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func indexedStore(t *testing.T) *IndexedStore {
+	t.Helper()
+	s := tempStore(t, Options{})
+	ix, err := NewIndexedStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexLookup(t *testing.T) {
+	s := indexedStore(t)
+	s.Put(&Object{Name: "a", Keywords: []string{"Jazz", "music"}, Data: []byte("x")})
+	s.Put(&Object{Name: "b", Keywords: []string{"jazz"}, Data: []byte("y")})
+	s.Put(&Object{Name: "c", Keywords: []string{"rock"}, Data: []byte("z")})
+
+	got := s.Index().Lookup("JAZZ")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Lookup(JAZZ) = %v", got)
+	}
+	if kws := s.Index().Keywords(); len(kws) != 3 {
+		t.Fatalf("Keywords = %v", kws)
+	}
+}
+
+func TestIndexedMatchAgreesWithScan(t *testing.T) {
+	s := indexedStore(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		s.Put(&Object{
+			Name:     fmt.Sprintf("obj-%03d", i),
+			Keywords: []string{fmt.Sprintf("kw%d", rng.Intn(9))},
+			Data:     []byte{byte(i)},
+		})
+	}
+	queries := []string{"kw0", "kw5", "KW7", "obj-01", "missing", ""}
+	for _, q := range queries {
+		viaIndex, err := s.Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaScan, err := s.Store.Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := names(viaIndex)
+		sc := names(viaScan)
+		if len(in) != len(sc) {
+			t.Fatalf("query %q: index %d hits, scan %d", q, len(in), len(sc))
+		}
+		for i := range in {
+			if in[i] != sc[i] {
+				t.Fatalf("query %q: index %v != scan %v", q, in, sc)
+			}
+		}
+	}
+}
+
+func names(objs []*Object) []string {
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = o.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestIndexMaintainedAcrossPutDelete(t *testing.T) {
+	s := indexedStore(t)
+	s.Put(&Object{Name: "x", Keywords: []string{"old"}, Data: []byte("1")})
+	// Replacement changes keywords: old posting must vanish.
+	s.Put(&Object{Name: "x", Keywords: []string{"new"}, Data: []byte("2")})
+	if got := s.Index().Lookup("old"); len(got) != 0 {
+		t.Fatalf("stale posting: %v", got)
+	}
+	if got := s.Index().Lookup("new"); len(got) != 1 {
+		t.Fatalf("missing posting: %v", got)
+	}
+	if err := s.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Index().Lookup("new"); len(got) != 0 {
+		t.Fatalf("posting survived delete: %v", got)
+	}
+	if err := s.Delete("x"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestIndexRebuildAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.storm")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(&Object{Name: "persisted", Keywords: []string{"found"}, Data: []byte("d")})
+	s.Close()
+
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ix, err := NewIndexedStore(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Index().Lookup("found"); len(got) != 1 || got[0] != "persisted" {
+		t.Fatalf("rebuilt index = %v", got)
+	}
+}
+
+// Property: under random Put/Delete sequences, the indexed Match always
+// equals the scanning Match, and the store equals a shadow map.
+func TestIndexedStoreShadowModel(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := Open(filepath.Join(t.TempDir(), "shadow.storm"), Options{BufferFrames: 4})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		ix, err := NewIndexedStore(s)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		shadow := make(map[string]string) // name -> keyword
+		for op := 0; op < 120; op++ {
+			name := fmt.Sprintf("o%d", rng.Intn(25))
+			switch rng.Intn(3) {
+			case 0, 1: // put
+				kw := fmt.Sprintf("kw%d", rng.Intn(5))
+				if _, err := ix.Put(&Object{Name: name, Keywords: []string{kw},
+					Data: []byte(name)}); err != nil {
+					return false
+				}
+				shadow[name] = kw
+			case 2: // delete
+				err := ix.Delete(name)
+				_, existed := shadow[name]
+				if existed != (err == nil) {
+					return false
+				}
+				delete(shadow, name)
+			}
+		}
+		if ix.Len() != len(shadow) {
+			return false
+		}
+		for k := 0; k < 5; k++ {
+			q := fmt.Sprintf("kw%d", k)
+			want := 0
+			for _, kw := range shadow {
+				if kw == q {
+					want++
+				}
+			}
+			got, err := ix.Match(q)
+			if err != nil || len(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package storm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"bestpeer/internal/wire"
+)
+
+// ObjectKind distinguishes the sharing granularities of §3.2 of the paper.
+type ObjectKind uint8
+
+const (
+	// StaticObject is a plain digital file shared in its entirety.
+	StaticObject ObjectKind = iota
+	// ActiveObject couples data elements with an active element: the name
+	// of an executable "active node" that filters the content according
+	// to the requester's access rights.
+	ActiveObject
+)
+
+// String returns the symbolic kind name.
+func (k ObjectKind) String() string {
+	switch k {
+	case StaticObject:
+		return "static"
+	case ActiveObject:
+		return "active"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Object is the unit of sharable data a node stores in its StorM instance.
+// In the paper's experiments each node stores 1000 objects of 1 KB each.
+type Object struct {
+	// Name identifies the object within its node.
+	Name string
+	// Keywords are the searchable terms agents match queries against.
+	Keywords []string
+	// Kind selects static versus active sharing.
+	Kind ObjectKind
+	// ActiveClass names the active element (a registered executable)
+	// that mediates access to an active object. Empty for static objects.
+	ActiveClass string
+	// Data is the object content.
+	Data []byte
+}
+
+// ErrBadObject reports a corrupt or oversized object record.
+var ErrBadObject = errors.New("storm: bad object record")
+
+// objectRecordVersion guards the record layout.
+const objectRecordVersion = 1
+
+// encodeObject serializes the object into a page record.
+func encodeObject(o *Object) ([]byte, error) {
+	var e wire.Encoder
+	e.Uint8(objectRecordVersion)
+	e.String(o.Name)
+	e.Uint8(uint8(o.Kind))
+	e.String(o.ActiveClass)
+	e.Uvarint(uint64(len(o.Keywords)))
+	for _, k := range o.Keywords {
+		e.String(k)
+	}
+	e.Bytes2(o.Data)
+	if e.Len() > MaxRecordSize {
+		return nil, fmt.Errorf("%w: %q encodes to %d bytes, max %d",
+			ErrBadObject, o.Name, e.Len(), MaxRecordSize)
+	}
+	return e.Bytes(), nil
+}
+
+// decodeObject parses a page record into an Object.
+func decodeObject(rec []byte) (*Object, error) {
+	d := wire.NewDecoder(rec)
+	if v := d.Uint8(); v != objectRecordVersion {
+		return nil, fmt.Errorf("%w: record version %d", ErrBadObject, v)
+	}
+	o := &Object{Name: d.String()}
+	o.Kind = ObjectKind(d.Uint8())
+	o.ActiveClass = d.String()
+	n := d.Uvarint()
+	if n > MaxRecordSize {
+		return nil, ErrBadObject
+	}
+	if n > 0 {
+		o.Keywords = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			o.Keywords = append(o.Keywords, d.String())
+		}
+	}
+	o.Data = d.Bytes2()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadObject, err)
+	}
+	return o, nil
+}
+
+// Matches reports whether the object satisfies a keyword query: the query
+// matches case-insensitively against any keyword or as a substring of the
+// object name. This is the comparison the paper's StorM agent performs on
+// every stored object.
+func (o *Object) Matches(query string) bool {
+	if query == "" {
+		return false
+	}
+	q := strings.ToLower(query)
+	for _, k := range o.Keywords {
+		if strings.ToLower(k) == q {
+			return true
+		}
+	}
+	return strings.Contains(strings.ToLower(o.Name), q)
+}
+
+// Clone returns a deep copy of the object.
+func (o *Object) Clone() *Object {
+	cp := *o
+	cp.Keywords = append([]string(nil), o.Keywords...)
+	cp.Data = append([]byte(nil), o.Data...)
+	return &cp
+}

@@ -1,0 +1,150 @@
+package storm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PersistentIndex is a durable inverted index over a store's keywords,
+// held in a B+tree on the same page file as the heap. Each posting is one
+// tree entry with the composite key
+//
+//	lowercase(keyword) + "\x00" + object name
+//
+// so a keyword's postings are a contiguous key range served by a prefix
+// scan, and the index survives restarts (its root lives in the file
+// header next to the catalog's).
+type PersistentIndex struct {
+	tree *BTree
+}
+
+// postingKey builds the composite key for one (keyword, name) pair.
+func postingKey(keyword, name string) string {
+	return strings.ToLower(keyword) + "\x00" + name
+}
+
+// Add indexes every keyword of the object.
+func (ix *PersistentIndex) Add(obj *Object, oid OID) error {
+	for _, k := range obj.Keywords {
+		key := postingKey(k, obj.Name)
+		if len(key) > MaxKeyLen {
+			return fmt.Errorf("%w: posting %q", ErrKeyTooLong, key)
+		}
+		if err := ix.tree.Put(key, oid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove un-indexes every keyword of the object.
+func (ix *PersistentIndex) Remove(obj *Object) error {
+	for _, k := range obj.Keywords {
+		if _, err := ix.tree.Delete(postingKey(k, obj.Name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup returns the names (ascending) of objects carrying the keyword.
+func (ix *PersistentIndex) Lookup(keyword string) ([]string, error) {
+	prefix := strings.ToLower(keyword) + "\x00"
+	var names []string
+	err := ix.tree.AscendPrefix(prefix, func(key string, _ OID) bool {
+		names = append(names, key[len(prefix):])
+		return true
+	})
+	return names, err
+}
+
+// Postings returns the number of (keyword, object) pairs indexed.
+func (ix *PersistentIndex) Postings() (int, error) { return ix.tree.Len() }
+
+// loadPersistentIndexAfterRecovery attaches to or (re)builds the store's
+// on-disk inverted index. forceRebuild discards the stored image (set
+// after a crash: index pages regress independently of the WAL-recovered
+// heap, so the stored image cannot be trusted).
+func (s *Store) loadPersistentIndexAfterRecovery(forceRebuild bool) error {
+	if root := s.file.IndexRoot(); root != InvalidPage && !forceRebuild {
+		ix := &PersistentIndex{tree: OpenBTree(s.pool, root)}
+		// Plausibility check: the tree must walk cleanly.
+		if _, err := ix.Postings(); err == nil {
+			s.pindex = ix
+			s.pindexRoot = root
+			return nil
+		}
+		// Stale or torn: fall through and rebuild.
+	}
+	tree, err := NewBTree(s.pool)
+	if err != nil {
+		return err
+	}
+	ix := &PersistentIndex{tree: tree}
+	err = s.Scan(func(o *Object) bool {
+		s.mu.RLock()
+		oid, ok := s.byName[o.Name]
+		s.mu.RUnlock()
+		if !ok {
+			return true
+		}
+		if aerr := ix.Add(o, oid); aerr != nil {
+			err = aerr
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s.pindex = ix
+	return s.syncIndexRoot()
+}
+
+// syncIndexRoot records the index root in the header when it has moved.
+func (s *Store) syncIndexRoot() error {
+	if s.pindex == nil || s.pindex.tree.Root() == s.pindexRoot {
+		return nil
+	}
+	if err := s.file.SetIndexRoot(s.pindex.tree.Root()); err != nil {
+		return err
+	}
+	s.pindexRoot = s.pindex.tree.Root()
+	return nil
+}
+
+// Index returns the store's persistent inverted index, or nil when the
+// option is disabled.
+func (s *Store) Index() *PersistentIndex { return s.pindex }
+
+// LookupKeyword returns the names of objects carrying the keyword using
+// the persistent index. It fails when the index is disabled.
+func (s *Store) LookupKeyword(keyword string) ([]string, error) {
+	if s.pindex == nil {
+		return nil, fmt.Errorf("storm: persistent index not enabled")
+	}
+	return s.pindex.Lookup(keyword)
+}
+
+// indexAdd/indexRemove mirror object mutations into the index (no-ops
+// when disabled). Callers hold s.mu where required by their own paths;
+// the tree synchronizes through the buffer pool.
+func (s *Store) indexAdd(obj *Object, oid OID) error {
+	if s.pindex == nil {
+		return nil
+	}
+	if err := s.pindex.Add(obj, oid); err != nil {
+		return err
+	}
+	return s.syncIndexRoot()
+}
+
+func (s *Store) indexRemove(obj *Object) error {
+	if s.pindex == nil {
+		return nil
+	}
+	if err := s.pindex.Remove(obj); err != nil {
+		return err
+	}
+	return s.syncIndexRoot()
+}

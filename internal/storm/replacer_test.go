@@ -1,0 +1,164 @@
+package storm
+
+import "testing"
+
+func drain(r Replacer) []int {
+	var out []int
+	for {
+		f, ok := r.Victim()
+		if !ok {
+			return out
+		}
+		out = append(out, f)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	r := NewLRU()
+	r.Insert(1, 0)
+	r.Insert(2, 0)
+	r.Insert(3, 0)
+	r.Touch(1) // 1 becomes most recent
+	got := drain(r)
+	want := []int{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LRU order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMRUOrder(t *testing.T) {
+	r := NewMRU()
+	r.Insert(1, 0)
+	r.Insert(2, 0)
+	r.Insert(3, 0)
+	f, ok := r.Victim()
+	if !ok || f != 3 {
+		t.Fatalf("MRU victim = %d, want 3", f)
+	}
+	r.Touch(1)
+	f, _ = r.Victim()
+	if f != 1 {
+		t.Fatalf("MRU victim after touch = %d, want 1", f)
+	}
+}
+
+func TestFIFOIgnoresTouch(t *testing.T) {
+	r := NewFIFO()
+	r.Insert(1, 0)
+	r.Insert(2, 0)
+	r.Touch(1) // must not move 1
+	f, _ := r.Victim()
+	if f != 1 {
+		t.Fatalf("FIFO victim = %d, want 1", f)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	r := NewClock()
+	r.Insert(1, 0)
+	r.Insert(2, 0)
+	r.Insert(3, 0)
+	// All ref bits set; first sweep clears them, so victim is 1 (hand order).
+	f, ok := r.Victim()
+	if !ok || f != 1 {
+		t.Fatalf("clock first victim = %d, want 1", f)
+	}
+	// Touch 2: it survives the next selection; 3's bit is already clear.
+	r.Touch(2)
+	f, _ = r.Victim()
+	if f != 3 {
+		t.Fatalf("clock second victim = %d, want 3", f)
+	}
+	f, _ = r.Victim()
+	if f != 2 {
+		t.Fatalf("clock third victim = %d, want 2", f)
+	}
+}
+
+func TestClockRemoveKeepsRingConsistent(t *testing.T) {
+	r := NewClock()
+	for i := 1; i <= 5; i++ {
+		r.Insert(i, 0)
+	}
+	r.Remove(3)
+	r.Remove(1)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	seen := make(map[int]bool)
+	for {
+		f, ok := r.Victim()
+		if !ok {
+			break
+		}
+		if seen[f] {
+			t.Fatalf("frame %d evicted twice", f)
+		}
+		seen[f] = true
+	}
+	if len(seen) != 3 || seen[1] || seen[3] {
+		t.Fatalf("evicted set = %v", seen)
+	}
+}
+
+func TestPriorityEvictsLowestHint(t *testing.T) {
+	r := NewPriority()
+	r.Insert(1, 5.0)
+	r.Insert(2, 1.0)
+	r.Insert(3, 3.0)
+	got := drain(r)
+	want := []int{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPriorityTieBreaksFIFO(t *testing.T) {
+	r := NewPriority()
+	r.Insert(7, 1.0)
+	r.Insert(8, 1.0)
+	f, _ := r.Victim()
+	if f != 7 {
+		t.Fatalf("tie broke to %d, want 7 (older)", f)
+	}
+}
+
+func TestReplacerCommonBehaviours(t *testing.T) {
+	for _, name := range []string{"lru", "mru", "fifo", "clock", "priority"} {
+		t.Run(name, func(t *testing.T) {
+			r := NewReplacer(name)
+			if r.Name() != name {
+				t.Fatalf("Name = %q", r.Name())
+			}
+			if _, ok := r.Victim(); ok {
+				t.Fatal("empty replacer produced a victim")
+			}
+			r.Touch(99)  // absent: no-op
+			r.Remove(99) // absent: no-op
+			r.Insert(1, 0)
+			r.Insert(1, 0) // duplicate insert is a refresh, not a second entry
+			if r.Len() != 1 {
+				t.Fatalf("len after dup insert = %d", r.Len())
+			}
+			r.Insert(2, 1)
+			r.Remove(1)
+			f, ok := r.Victim()
+			if !ok || f != 2 {
+				t.Fatalf("victim = %d/%v, want 2", f, ok)
+			}
+			if r.Len() != 0 {
+				t.Fatalf("len after drain = %d", r.Len())
+			}
+		})
+	}
+}
+
+func TestNewReplacerUnknownFallsBackToLRU(t *testing.T) {
+	if r := NewReplacer("nonsense"); r.Name() != "lru" {
+		t.Fatalf("fallback = %q", r.Name())
+	}
+}

@@ -1,0 +1,754 @@
+package storm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store errors.
+var (
+	ErrNotFound = errors.New("storm: object not found")
+)
+
+// OID locates an object record on disk.
+type OID struct {
+	Page PageID
+	Slot Slot
+}
+
+// String renders the OID as "page.slot".
+func (o OID) String() string { return fmt.Sprintf("%d.%d", o.Page, o.Slot) }
+
+// Options configures a Store.
+type Options struct {
+	// BufferFrames is the buffer-pool size in pages. Zero defaults to 64.
+	BufferFrames int
+	// Policy names the buffer replacement strategy: "lru" (default),
+	// "mru", "fifo", "clock", "priority".
+	Policy string
+	// PersistentCatalog maintains the name→location map in an on-disk
+	// B+tree whose root is recorded in the file header, so reopening a
+	// large store does not decode every object record. The catalog is
+	// valid for cleanly closed files; a file whose catalog is missing or
+	// implausible falls back to the full scan.
+	PersistentCatalog bool
+	// WALPath, when non-empty, enables a write-ahead log at that path:
+	// every Put/Delete is logged before the page mutation and replayed
+	// at open, so a crash never loses acknowledged operations (with
+	// WALSync) and never corrupts the store.
+	WALPath string
+	// WALSync fsyncs the log on every append. Off, the OS flushes
+	// lazily: cheaper, and a crash may lose only the most recent
+	// operations.
+	WALSync bool
+	// PersistentIndex maintains a durable inverted keyword index in an
+	// on-disk B+tree (see Store.LookupKeyword). Rebuilt by scan when the
+	// on-disk image is missing or implausible.
+	PersistentIndex bool
+}
+
+// Store is the object-level API of the storage manager: named objects on
+// slotted pages behind a buffer pool. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	file *DiskFile
+	pool *BufferPool
+
+	// catalog, when enabled, mirrors byName on disk.
+	catalog     *BTree
+	catalogRoot PageID
+
+	// pindex, when enabled, is the durable inverted keyword index.
+	pindex     *PersistentIndex
+	pindexRoot PageID
+
+	// wal, when enabled, makes operations crash-durable.
+	wal *WAL
+
+	byName map[string]OID
+	// pagesWithSpace tracks data pages believed to have free room,
+	// ordered for deterministic placement.
+	pagesWithSpace map[PageID]int
+	dataPages      []PageID
+}
+
+// Open opens the store at path, creating it if absent.
+func Open(path string, opts Options) (*Store, error) {
+	frames := opts.BufferFrames
+	if frames <= 0 {
+		frames = 64
+	}
+	var (
+		file *DiskFile
+		err  error
+	)
+	if _, statErr := os.Stat(path); statErr == nil {
+		file, err = OpenFile(path)
+	} else {
+		file, err = CreateFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		file:           file,
+		pool:           NewBufferPool(file, frames, NewReplacer(opts.Policy)),
+		byName:         make(map[string]OID),
+		pagesWithSpace: make(map[PageID]int),
+	}
+
+	fromTree := false
+	if opts.PersistentCatalog {
+		if root := file.MetaRoot(); root != InvalidPage {
+			s.catalog = OpenBTree(s.pool, root)
+			s.catalogRoot = root
+			if err := s.loadCatalog(); err == nil {
+				fromTree = true
+			} else {
+				// Implausible catalog (e.g. unclean shutdown): fall back
+				// to the authoritative scan and rebuild the tree below.
+				s.catalog = nil
+				s.byName = make(map[string]OID)
+			}
+		}
+	}
+	if err := s.rebuildCatalog(!fromTree); err != nil {
+		file.Close()
+		return nil, err
+	}
+	if opts.PersistentCatalog && s.catalog == nil {
+		if err := s.buildCatalogTree(); err != nil {
+			file.Close()
+			return nil, err
+		}
+	}
+	replayed := 0
+	if opts.WALPath != "" {
+		wal, err := OpenWAL(opts.WALPath, opts.WALSync)
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		s.wal = wal
+		replayed, err = s.recover()
+		if err != nil {
+			wal.Close()
+			file.Close()
+			return nil, err
+		}
+	}
+	if opts.PersistentIndex {
+		// The index loads after WAL recovery: a non-empty replay means
+		// the previous session crashed, and index pages regressed
+		// independently of the heap, so only a rebuild is trustworthy.
+		if err := s.loadPersistentIndexAfterRecovery(replayed > 0); err != nil {
+			file.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recover replays the WAL tail over the store and checkpoints, so the
+// pages reflect every logged operation and the log restarts empty. It
+// returns how many records were replayed.
+func (s *Store) recover() (int, error) {
+	replayed, err := s.wal.Replay(func(r *walRecord) error {
+		switch r.Op {
+		case walPut:
+			_, err := s.putUnlogged(r.Obj)
+			return err
+		case walDelete:
+			err := s.deleteUnlogged(r.Name)
+			if errors.Is(err, ErrNotFound) {
+				return nil // already applied before the crash
+			}
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("storm: wal replay: %w", err)
+	}
+	return replayed, s.Checkpoint()
+}
+
+// Checkpoint flushes every dirty page to stable storage and truncates
+// the WAL: all logged operations are now reflected in the data file.
+func (s *Store) Checkpoint() error {
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := s.file.Sync(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		return s.wal.Truncate()
+	}
+	return nil
+}
+
+// loadCatalog reads byName from the on-disk B+tree, validating that every
+// location is within the file.
+func (s *Store) loadCatalog() error {
+	limit := s.file.PageCount()
+	return s.catalog.Ascend(func(name string, oid OID) bool {
+		if uint32(oid.Page) >= limit {
+			return false // stale pointer: abort, caller falls back
+		}
+		s.byName[name] = oid
+		return true
+	})
+}
+
+// buildCatalogTree creates the B+tree from the in-memory catalog and
+// records its root.
+func (s *Store) buildCatalogTree() error {
+	tree, err := NewBTree(s.pool)
+	if err != nil {
+		return err
+	}
+	for name, oid := range s.byName {
+		if err := tree.Put(name, oid); err != nil {
+			return err
+		}
+	}
+	s.catalog = tree
+	return s.syncCatalogRoot()
+}
+
+// syncCatalogRoot records the catalog root in the file header when it has
+// moved (root splits change it).
+func (s *Store) syncCatalogRoot() error {
+	if s.catalog == nil || s.catalog.Root() == s.catalogRoot {
+		return nil
+	}
+	if err := s.file.SetMetaRoot(s.catalog.Root()); err != nil {
+		return err
+	}
+	s.catalogRoot = s.catalog.Root()
+	return nil
+}
+
+// catalogPut mirrors a name→location binding into the persistent catalog.
+func (s *Store) catalogPut(name string, oid OID) error {
+	if s.catalog == nil {
+		return nil
+	}
+	if err := s.catalog.Put(name, oid); err != nil {
+		return err
+	}
+	return s.syncCatalogRoot()
+}
+
+// catalogDelete mirrors a removal into the persistent catalog.
+func (s *Store) catalogDelete(name string) error {
+	if s.catalog == nil {
+		return nil
+	}
+	if _, err := s.catalog.Delete(name); err != nil {
+		return err
+	}
+	return s.syncCatalogRoot()
+}
+
+// rebuildCatalog scans every heap page to reconstruct the free-space map
+// and data-page list, skipping catalog B+tree pages. When withNames is
+// true it also decodes each record to rebuild the name index (the path
+// taken when no persistent catalog is available).
+func (s *Store) rebuildCatalog(withNames bool) error {
+	n := s.file.PageCount()
+	for id := PageID(1); uint32(id) < n; id++ {
+		p, err := s.pool.Fetch(id)
+		if err != nil {
+			return fmt.Errorf("storm: catalog rebuild: %w", err)
+		}
+		if p.Type() != pageTypeSlotted {
+			if err := s.pool.Unpin(id, false); err != nil {
+				return err
+			}
+			continue
+		}
+		s.dataPages = append(s.dataPages, id)
+		var decodeErr error
+		dirty := false
+		if withNames {
+			p.Records(func(slot Slot, rec []byte) bool {
+				obj, err := decodeObject(rec)
+				if err != nil {
+					decodeErr = err
+					return false
+				}
+				if _, dup := s.byName[obj.Name]; dup {
+					// Crash-regressed pages can hold two live copies of a
+					// replaced object (the new record's page reached disk,
+					// the old record's tombstone did not). Keep the first
+					// copy and tombstone the duplicate on the spot —
+					// otherwise WAL replay fixes only the indexed copy and
+					// the stale one resurrects at the next open. The kept
+					// copy's content is then corrected by the replayed put
+					// that caused the move.
+					if derr := p.Delete(slot); derr != nil {
+						decodeErr = derr
+						return false
+					}
+					dirty = true
+					return true
+				}
+				s.byName[obj.Name] = OID{Page: id, Slot: slot}
+				return true
+			})
+		}
+		if free := p.AvailableSpace(); free > 0 {
+			s.pagesWithSpace[id] = free
+		}
+		if err := s.pool.Unpin(id, dirty); err != nil {
+			return err
+		}
+		if decodeErr != nil {
+			return decodeErr
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byName)
+}
+
+// Pool exposes buffer-pool statistics.
+func (s *Store) Pool() *BufferPool { return s.pool }
+
+// Put inserts the object, replacing any existing object with the same
+// name. It returns the object's location. With a WAL enabled the
+// operation is logged before any page is touched.
+func (s *Store) Put(obj *Object) (OID, error) {
+	if obj.Name == "" {
+		return OID{}, fmt.Errorf("%w: empty name", ErrBadObject)
+	}
+	if s.wal != nil {
+		if err := s.wal.Append(&walRecord{Op: walPut, Name: obj.Name, Obj: obj}); err != nil {
+			return OID{}, err
+		}
+	}
+	return s.putUnlogged(obj)
+}
+
+// putUnlogged performs the insert/replace without logging (used by Put and
+// WAL replay).
+func (s *Store) putUnlogged(obj *Object) (OID, error) {
+	rec, err := encodeObject(obj)
+	if err != nil {
+		return OID{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if old, exists := s.byName[obj.Name]; exists {
+		// The replaced object's postings must go before its bytes do.
+		if s.pindex != nil {
+			if oldObj, rerr := s.readObjectAt(old); rerr == nil {
+				if ierr := s.indexRemove(oldObj); ierr != nil {
+					return OID{}, ierr
+				}
+			}
+		}
+		// Try an in-place update first.
+		p, err := s.pool.Fetch(old.Page)
+		if err != nil {
+			return OID{}, err
+		}
+		uerr := p.Update(old.Slot, rec)
+		if uerr == nil {
+			s.pagesWithSpace[old.Page] = p.AvailableSpace()
+			err = s.pool.Unpin(old.Page, true)
+			if err == nil {
+				err = s.indexAdd(obj, old)
+			}
+			return old, err
+		}
+		// Doesn't fit: delete and reinsert elsewhere.
+		if derr := p.Delete(old.Slot); derr != nil {
+			s.pool.Unpin(old.Page, false)
+			return OID{}, derr
+		}
+		s.pagesWithSpace[old.Page] = p.AvailableSpace()
+		if err := s.pool.Unpin(old.Page, true); err != nil {
+			return OID{}, err
+		}
+		delete(s.byName, obj.Name)
+	}
+
+	oid, err := s.insertLocked(obj.Name, rec)
+	if err != nil {
+		return OID{}, err
+	}
+	if err := s.catalogPut(obj.Name, oid); err != nil {
+		return OID{}, err
+	}
+	if err := s.indexAdd(obj, oid); err != nil {
+		return OID{}, err
+	}
+	return oid, nil
+}
+
+// readObjectAt decodes the object at oid straight through the buffer
+// pool, without taking the store mutex (callers may hold it).
+func (s *Store) readObjectAt(oid OID) (*Object, error) {
+	p, err := s.pool.Fetch(oid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, gerr := p.Get(oid.Slot)
+	var obj *Object
+	if gerr == nil {
+		obj, gerr = decodeObject(rec)
+	}
+	if err := s.pool.Unpin(oid.Page, false); err != nil {
+		return nil, err
+	}
+	return obj, gerr
+}
+
+// insertLocked places rec on a page with room, allocating a new page when
+// needed. Caller holds s.mu.
+func (s *Store) insertLocked(name string, rec []byte) (OID, error) {
+	need := len(rec) + slotEntrySize
+	// Deterministic choice: the lowest page id with enough space.
+	var candidates []PageID
+	for id, free := range s.pagesWithSpace {
+		if free >= need {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, id := range candidates {
+		p, err := s.pool.Fetch(id)
+		if err != nil {
+			return OID{}, err
+		}
+		slot, ierr := p.Insert(rec)
+		if ierr == nil {
+			s.pagesWithSpace[id] = p.AvailableSpace()
+			if err := s.pool.Unpin(id, true); err != nil {
+				return OID{}, err
+			}
+			oid := OID{Page: id, Slot: slot}
+			s.byName[name] = oid
+			return oid, nil
+		}
+		// Stale free-space estimate; refresh and move on.
+		s.pagesWithSpace[id] = p.AvailableSpace()
+		if err := s.pool.Unpin(id, false); err != nil {
+			return OID{}, err
+		}
+	}
+	// Allocate a fresh page.
+	p, err := s.pool.NewPage()
+	if err != nil {
+		return OID{}, err
+	}
+	id := p.ID()
+	slot, ierr := p.Insert(rec)
+	if ierr != nil {
+		s.pool.Unpin(id, false)
+		return OID{}, ierr
+	}
+	s.dataPages = append(s.dataPages, id)
+	s.pagesWithSpace[id] = p.AvailableSpace()
+	if err := s.pool.Unpin(id, true); err != nil {
+		return OID{}, err
+	}
+	oid := OID{Page: id, Slot: slot}
+	s.byName[name] = oid
+	return oid, nil
+}
+
+// Get returns the object with the given name.
+func (s *Store) Get(name string) (*Object, error) {
+	s.mu.RLock()
+	oid, ok := s.byName[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return s.GetOID(oid)
+}
+
+// GetOID returns the object at the given location.
+func (s *Store) GetOID(oid OID) (*Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, err := s.pool.Fetch(oid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, gerr := p.Get(oid.Slot)
+	if gerr != nil {
+		s.pool.Unpin(oid.Page, false)
+		return nil, fmt.Errorf("%w: oid %v", ErrNotFound, oid)
+	}
+	obj, derr := decodeObject(rec)
+	if err := s.pool.Unpin(oid.Page, false); err != nil {
+		return nil, err
+	}
+	return obj, derr
+}
+
+// Has reports whether an object with the given name exists.
+func (s *Store) Has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.byName[name]
+	return ok
+}
+
+// Delete removes the named object. With a WAL enabled the operation is
+// logged before any page is touched.
+func (s *Store) Delete(name string) error {
+	if s.wal != nil {
+		// Logging a delete of an absent name would replay harmlessly,
+		// but checking first keeps the log minimal.
+		if !s.Has(name) {
+			return fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		if err := s.wal.Append(&walRecord{Op: walDelete, Name: name}); err != nil {
+			return err
+		}
+	}
+	return s.deleteUnlogged(name)
+}
+
+// deleteUnlogged removes the object without logging (used by Delete and WAL
+// replay).
+func (s *Store) deleteUnlogged(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oid, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if s.pindex != nil {
+		if oldObj, rerr := s.readObjectAt(oid); rerr == nil {
+			if ierr := s.indexRemove(oldObj); ierr != nil {
+				return ierr
+			}
+		}
+	}
+	p, err := s.pool.Fetch(oid.Page)
+	if err != nil {
+		return err
+	}
+	if derr := p.Delete(oid.Slot); derr != nil {
+		s.pool.Unpin(oid.Page, false)
+		return derr
+	}
+	s.pagesWithSpace[oid.Page] = p.AvailableSpace()
+	if err := s.pool.Unpin(oid.Page, true); err != nil {
+		return err
+	}
+	delete(s.byName, name)
+	return s.catalogDelete(name)
+}
+
+// Scan calls fn for every object in page order. Returning false stops the
+// scan. Objects passed to fn are fresh copies the callback may retain.
+func (s *Store) Scan(fn func(*Object) bool) error {
+	s.mu.RLock()
+	pages := append([]PageID(nil), s.dataPages...)
+	s.mu.RUnlock()
+
+	for _, id := range pages {
+		s.mu.RLock()
+		p, err := s.pool.Fetch(id)
+		if err != nil {
+			s.mu.RUnlock()
+			return err
+		}
+		type hit struct {
+			obj *Object
+			err error
+		}
+		var batch []hit
+		p.Records(func(_ Slot, rec []byte) bool {
+			obj, derr := decodeObject(rec)
+			batch = append(batch, hit{obj, derr})
+			return true
+		})
+		unpinErr := s.pool.Unpin(id, false)
+		s.mu.RUnlock()
+		if unpinErr != nil {
+			return unpinErr
+		}
+		for _, h := range batch {
+			if h.err != nil {
+				return h.err
+			}
+			if !fn(h.obj) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Match returns every object satisfying the keyword query, in page order.
+// This is the operation the StorM search agent performs at each peer.
+func (s *Store) Match(query string) ([]*Object, error) {
+	var out []*Object
+	err := s.Scan(func(o *Object) bool {
+		if o.Matches(query) {
+			out = append(out, o)
+		}
+		return true
+	})
+	return out, err
+}
+
+// MatchFunc returns every object satisfying an arbitrary predicate —
+// the hook computational-power sharing uses to run requester-shipped
+// filters against local data.
+func (s *Store) MatchFunc(pred func(*Object) bool) ([]*Object, error) {
+	var out []*Object
+	err := s.Scan(func(o *Object) bool {
+		if pred(o) {
+			out = append(out, o)
+		}
+		return true
+	})
+	return out, err
+}
+
+// Names returns all object names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sync flushes all dirty pages and the file to stable storage.
+func (s *Store) Sync() error {
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	return s.file.Sync()
+}
+
+// Close flushes and closes the store (checkpointing the WAL if one is
+// enabled).
+func (s *Store) Close() error {
+	if s.wal != nil {
+		if err := s.Checkpoint(); err != nil {
+			s.wal.Close()
+			s.file.Close()
+			return err
+		}
+		if err := s.wal.Close(); err != nil {
+			s.file.Close()
+			return err
+		}
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		s.file.Close()
+		return err
+	}
+	return s.file.Close()
+}
+
+// StoreStats summarizes a store's state for operators and tests.
+type StoreStats struct {
+	// Objects is the number of stored objects.
+	Objects int
+	// DataPages is the number of heap pages (excluding header, catalog
+	// and B+tree pages).
+	DataPages int
+	// TotalPages is the file size in pages, including everything.
+	TotalPages int
+	// FreeBytes sums the reclaimable space across heap pages.
+	FreeBytes int
+	// PoolHits/PoolMisses/PoolEvictions are buffer pool counters.
+	PoolHits, PoolMisses, PoolEvictions uint64
+	// HitRate is the fraction of fetches served from memory.
+	HitRate float64
+	// WALRecords counts operations logged since the WAL was opened
+	// (zero when the WAL is disabled).
+	WALRecords uint64
+	// CatalogPersistent reports whether the B+tree catalog is active.
+	CatalogPersistent bool
+}
+
+// Stats returns a snapshot of the store's statistics.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	st := StoreStats{
+		Objects:           len(s.byName),
+		DataPages:         len(s.dataPages),
+		CatalogPersistent: s.catalog != nil,
+	}
+	for _, free := range s.pagesWithSpace {
+		st.FreeBytes += free
+	}
+	s.mu.RUnlock()
+	st.TotalPages = int(s.file.PageCount())
+	st.PoolHits = s.pool.Hits
+	st.PoolMisses = s.pool.Misses
+	st.PoolEvictions = s.pool.Evictions
+	st.HitRate = s.pool.HitRate()
+	if s.wal != nil {
+		st.WALRecords = s.wal.Appended
+	}
+	return st
+}
+
+// CompactTo writes a compacted copy of the store to a fresh data file at
+// path: live objects only, packed densely, with none of the dead space
+// left behind by deletions, replacements, or catalog/index rebuilds
+// (orphaned B+tree pages). The copy is created with the given options
+// (e.g. re-enable the persistent catalog or index); the source store is
+// unchanged. Typical use: compact into a sibling file, close the
+// original, and rename.
+func (s *Store) CompactTo(path string, opts Options) error {
+	dst, err := Open(path, opts)
+	if err != nil {
+		return err
+	}
+	var putErr error
+	scanErr := s.Scan(func(o *Object) bool {
+		if _, err := dst.Put(o); err != nil {
+			putErr = fmt.Errorf("storm: compact: %w", err)
+			return false
+		}
+		return true
+	})
+	if putErr == nil && scanErr != nil {
+		putErr = scanErr
+	}
+	if putErr != nil {
+		dst.Close()
+		return putErr
+	}
+	return dst.Close()
+}
+
+// Abandon closes the store's file descriptors WITHOUT flushing dirty
+// pages or checkpointing the WAL — it simulates a process crash. Every
+// page still in the buffer pool is lost; the WAL (if enabled) survives
+// and the next Open recovers from it. Only for crash testing and
+// demonstrations; real shutdown is Close.
+func (s *Store) Abandon() {
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	s.file.Close()
+}

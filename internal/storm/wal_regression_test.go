@@ -1,0 +1,76 @@
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestWALCrashRegressionDuplicateRecords pins the seed that exposed the
+// duplicate-record resurrection bug: a replaced object whose new record
+// reached disk while the old record's tombstone did not would come back
+// to life two crashes later, because recovery only deleted the copy the
+// catalog scan happened to index. The rebuild scan now tombstones
+// duplicates on sight.
+func TestWALCrashRegressionDuplicateRecords(t *testing.T) {
+	seed := int64(-3127610734926530244)
+	dir := t.TempDir()
+	openStore := func() *Store {
+		s, err := Open(filepath.Join(dir, "c.storm"), Options{
+			BufferFrames: 4,
+			WALPath:      filepath.Join(dir, "c.wal"),
+			WALSync:      true,
+		})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return s
+	}
+	s := openStore()
+	rng := rand.New(rand.NewSource(seed))
+	shadow := make(map[string]int)
+	var history []string
+	for step := 0; step < 160; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			history = append(history, fmt.Sprintf("%d:CRASH", step))
+			s.Abandon()
+			s = openStore()
+			if s.Len() != len(shadow) {
+				var names, want []string
+				for _, n := range s.Names() {
+					names = append(names, n)
+				}
+				for n := range shadow {
+					want = append(want, n)
+				}
+				sort.Strings(want)
+				t.Fatalf("step %d: recovered %v\nwant %v\nhistory %v", step, names, want, history)
+			}
+		case 1, 2:
+			name := fmt.Sprintf("o%02d", rng.Intn(30))
+			err := s.Delete(name)
+			if name == "o15" {
+				history = append(history, fmt.Sprintf("%d:del(%v)", step, err == nil))
+			}
+			_, existed := shadow[name]
+			if existed != (err == nil) {
+				t.Fatalf("step %d: delete %s existed=%v err=%v", step, name, existed, err)
+			}
+			delete(shadow, name)
+		default:
+			name := fmt.Sprintf("o%02d", rng.Intn(30))
+			size := 50 + rng.Intn(1500)
+			if _, err := s.Put(obj(name, []string{"k"}, size)); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			if name == "o15" {
+				history = append(history, fmt.Sprintf("%d:put(%d)", step, size))
+			}
+			shadow[name] = size
+		}
+	}
+	s.Close()
+}

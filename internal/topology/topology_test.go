@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStarShape(t *testing.T) {
+	s := Star(8)
+	if s.N != 8 || s.Base != 0 {
+		t.Fatalf("N=%d Base=%d", s.N, s.Base)
+	}
+	if s.Degree(0) != 7 {
+		t.Fatalf("center degree = %d", s.Degree(0))
+	}
+	for i := 1; i < 8; i++ {
+		if s.Degree(i) != 1 || s.Peers(i)[0] != 0 {
+			t.Fatalf("leaf %d peers = %v", i, s.Peers(i))
+		}
+	}
+	if s.Depth() != 1 || s.Edges() != 7 || !s.Connected() {
+		t.Fatalf("depth=%d edges=%d", s.Depth(), s.Edges())
+	}
+}
+
+func TestLineShape(t *testing.T) {
+	l := Line(5)
+	if l.Degree(0) != 1 || l.Degree(4) != 1 {
+		t.Fatal("end nodes must have one peer")
+	}
+	for i := 1; i < 4; i++ {
+		if l.Degree(i) != 2 {
+			t.Fatalf("inner node %d degree = %d", i, l.Degree(i))
+		}
+	}
+	if l.Depth() != 4 || l.Edges() != 4 {
+		t.Fatalf("depth=%d edges=%d", l.Depth(), l.Edges())
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	// Binary tree with 7 nodes: root 0, children 1,2; grandchildren 3..6.
+	tr := Tree(7, 2)
+	if tr.Degree(0) != 2 {
+		t.Fatalf("root degree = %d", tr.Degree(0))
+	}
+	if tr.Degree(1) != 3 { // parent + two children
+		t.Fatalf("internal degree = %d", tr.Degree(1))
+	}
+	if tr.Degree(6) != 1 {
+		t.Fatalf("leaf degree = %d", tr.Degree(6))
+	}
+	if tr.Depth() != 2 {
+		t.Fatalf("depth = %d", tr.Depth())
+	}
+	dist := tr.BFS(0)
+	want := []int{0, 1, 1, 2, 2, 2, 2}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("BFS = %v", dist)
+		}
+	}
+}
+
+func TestTreeLevels(t *testing.T) {
+	if TreeLevels(2, 0) != 1 || TreeLevels(2, 1) != 3 || TreeLevels(2, 2) != 7 {
+		t.Fatal("binary TreeLevels wrong")
+	}
+	if TreeLevels(3, 2) != 13 {
+		t.Fatalf("TreeLevels(3,2) = %d", TreeLevels(3, 2))
+	}
+}
+
+func TestTreeKFloor(t *testing.T) {
+	tr := Tree(4, 0) // clamped to k=1: a line
+	if tr.Depth() != 3 {
+		t.Fatalf("k=0 tree depth = %d", tr.Depth())
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	for _, tp := range []*Topology{Star(1), Line(1), Tree(1, 2), Random(1, 3, 1)} {
+		if tp.N != 1 || tp.Degree(0) != 0 || !tp.Connected() || tp.Depth() != 0 {
+			t.Fatalf("%s: single-node invariants broken", tp.Name)
+		}
+	}
+}
+
+func TestRandomConnectedAndDeterministic(t *testing.T) {
+	a := Random(40, 4, 7)
+	b := Random(40, 4, 7)
+	if !a.Connected() {
+		t.Fatal("random graph disconnected")
+	}
+	if a.Edges() != b.Edges() {
+		t.Fatal("random graph not deterministic")
+	}
+	for i := 0; i < a.N; i++ {
+		pa, pb := a.Peers(i), b.Peers(i)
+		if len(pa) != len(pb) {
+			t.Fatal("random graph not deterministic")
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatal("random graph not deterministic")
+			}
+		}
+	}
+	c := Random(40, 4, 8)
+	if c.Edges() == a.Edges() && sameAdj(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func sameAdj(a, b *Topology) bool {
+	for i := 0; i < a.N; i++ {
+		pa, pb := a.Peers(i), b.Peers(i)
+		if len(pa) != len(pb) {
+			return false
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Properties that must hold for every generated topology.
+func TestTopologyProperties(t *testing.T) {
+	check := func(nSeed, kSeed uint8) bool {
+		n := int(nSeed%48) + 1
+		k := int(kSeed%5) + 1
+		for _, tp := range []*Topology{Star(n), Line(n), Tree(n, k), Random(n, k, int64(nSeed)*100+int64(kSeed))} {
+			if !tp.Connected() {
+				return false
+			}
+			// Symmetry: i in adj[j] <=> j in adj[i]; no self-loops.
+			for i := 0; i < tp.N; i++ {
+				for _, j := range tp.Peers(i) {
+					if j == i {
+						return false
+					}
+					found := false
+					for _, back := range tp.Peers(j) {
+						if back == i {
+							found = true
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+			// Degree sum = 2 * edges.
+			sum := 0
+			for i := 0; i < tp.N; i++ {
+				sum += tp.Degree(i)
+			}
+			if sum != 2*tp.Edges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	// A two-node topology with no edges (constructed directly).
+	tp := newTopology("disc", 2)
+	dist := tp.BFS(0)
+	if dist[1] != -1 || tp.Connected() {
+		t.Fatal("unreachable node not detected")
+	}
+}

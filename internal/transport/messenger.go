@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"bestpeer/internal/wire"
+)
+
+// ErrMessengerClosed reports use after Close.
+var ErrMessengerClosed = errors.New("transport: messenger closed")
+
+// Messenger delivers wire envelopes between named endpoints. Each
+// messenger owns a listener; incoming connections are read in their own
+// goroutines and every decoded envelope is handed to the handler.
+// Outgoing connections are cached per destination and re-dialed on
+// failure.
+type Messenger struct {
+	network  Network
+	listener net.Listener
+	handler  func(*wire.Envelope)
+
+	mu     sync.Mutex
+	outs   map[string]*outConn
+	ins    map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Stats.
+	Sent     uint64
+	Received uint64
+}
+
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *wire.Conn
+}
+
+// NewMessenger binds addr on the network and starts accepting. handler is
+// invoked from reader goroutines — it must be safe for concurrent use.
+func NewMessenger(network Network, addr string, handler func(*wire.Envelope)) (*Messenger, error) {
+	l, err := network.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Messenger{
+		network:  network,
+		listener: l,
+		handler:  handler,
+		outs:     make(map[string]*outConn),
+		ins:      make(map[net.Conn]struct{}),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the bound address.
+func (m *Messenger) Addr() string { return m.listener.Addr().String() }
+
+func (m *Messenger) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		m.ins[conn] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.readLoop(conn)
+	}
+}
+
+func (m *Messenger) readLoop(conn net.Conn) {
+	defer m.wg.Done()
+	defer func() {
+		conn.Close()
+		m.mu.Lock()
+		delete(m.ins, conn)
+		m.mu.Unlock()
+	}()
+	wc := wire.NewConn(conn)
+	for {
+		env, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		closed := m.closed
+		if !closed {
+			m.Received++
+		}
+		m.mu.Unlock()
+		if closed {
+			return
+		}
+		if m.handler != nil {
+			m.handler(env)
+		}
+	}
+}
+
+// Send delivers env to the endpoint at to. The connection is cached; one
+// transparent re-dial covers a peer that restarted.
+func (m *Messenger) Send(to string, env *wire.Envelope) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrMessengerClosed
+	}
+	oc, ok := m.outs[to]
+	if !ok {
+		oc = &outConn{}
+		m.outs[to] = oc
+	}
+	m.mu.Unlock()
+
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.conn == nil {
+		if err := m.redial(to, oc); err != nil {
+			return err
+		}
+	}
+	if err := oc.enc.Send(env); err != nil {
+		// Stale cached connection: re-dial once.
+		oc.conn.Close()
+		oc.conn = nil
+		if err := m.redial(to, oc); err != nil {
+			return err
+		}
+		if err := oc.enc.Send(env); err != nil {
+			oc.conn.Close()
+			oc.conn = nil
+			return fmt.Errorf("transport: send to %s: %w", to, err)
+		}
+	}
+	m.mu.Lock()
+	m.Sent++
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Messenger) redial(to string, oc *outConn) error {
+	conn, err := m.network.Dial(to)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	oc.conn = conn
+	oc.enc = wire.NewConn(conn)
+	return nil
+}
+
+// Close stops accepting, drops cached connections and waits for reader
+// goroutines to drain.
+func (m *Messenger) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	outs := m.outs
+	m.outs = make(map[string]*outConn)
+	ins := make([]net.Conn, 0, len(m.ins))
+	for c := range m.ins {
+		ins = append(ins, c)
+	}
+	m.mu.Unlock()
+
+	m.listener.Close()
+	// Closing accepted connections unblocks their reader goroutines;
+	// otherwise Close would wait on peers that close after us.
+	for _, c := range ins {
+		c.Close()
+	}
+	for _, oc := range outs {
+		oc.mu.Lock()
+		if oc.conn != nil {
+			oc.conn.Close()
+			oc.conn = nil
+		}
+		oc.mu.Unlock()
+	}
+	m.wg.Wait()
+	return nil
+}

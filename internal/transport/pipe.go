@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// bufferedPipe is an in-memory full-duplex connection with elastic
+// buffers, used by InProc instead of net.Pipe. net.Pipe is fully
+// synchronous — every Write blocks until the peer Reads — which does not
+// model TCP (kernel socket buffers absorb writes) and can deadlock
+// protocols whose handlers send while their peers are also mid-send.
+// Elastic buffering restores TCP-like liveness: writes complete
+// immediately, reads block until data or close.
+type pipeBuffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool // write side closed: reads drain then EOF
+	dead   bool // hard close: reads fail immediately
+}
+
+func newPipeBuffer() *pipeBuffer {
+	b := &pipeBuffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pipeBuffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.dead {
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *pipeBuffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 {
+		if b.dead {
+			return 0, io.ErrClosedPipe
+		}
+		if b.closed {
+			return 0, io.EOF
+		}
+		b.cond.Wait()
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	if len(b.data) == 0 {
+		b.data = nil // release the backing array
+	}
+	return n, nil
+}
+
+// closeWrite marks end-of-stream: pending data remains readable.
+func (b *pipeBuffer) closeWrite() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// kill aborts the buffer: readers fail immediately.
+func (b *pipeBuffer) kill() {
+	b.mu.Lock()
+	b.dead = true
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// pipeConn is one endpoint of a buffered pipe.
+type pipeConn struct {
+	read  *pipeBuffer // peer writes here, we read
+	write *pipeBuffer // we write here, peer reads
+	local net.Addr
+	peer  net.Addr
+	once  sync.Once
+}
+
+// newBufferedPipe returns the two connected endpoints.
+func newBufferedPipe(a, b net.Addr) (net.Conn, net.Conn) {
+	ab := newPipeBuffer()
+	ba := newPipeBuffer()
+	return &pipeConn{read: ba, write: ab, local: a, peer: b},
+		&pipeConn{read: ab, write: ba, local: b, peer: a}
+}
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.read.read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.write.write(p) }
+
+// Close ends the connection: our peer sees EOF after draining; our own
+// pending reads abort.
+func (c *pipeConn) Close() error {
+	c.once.Do(func() {
+		c.write.closeWrite()
+		c.read.kill()
+	})
+	return nil
+}
+
+func (c *pipeConn) LocalAddr() net.Addr  { return c.local }
+func (c *pipeConn) RemoteAddr() net.Addr { return c.peer }
+
+// Deadlines are not implemented; the in-process transport is used in
+// controlled environments where callers bound waits themselves.
+func (c *pipeConn) SetDeadline(time.Time) error      { return nil }
+func (c *pipeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *pipeConn) SetWriteDeadline(time.Time) error { return nil }

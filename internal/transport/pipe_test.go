@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBufferedPipeBasicExchange(t *testing.T) {
+	a, b := newBufferedPipe(inprocAddr("a"), inprocAddr("b"))
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+	// And the other direction.
+	b.Write([]byte("world"))
+	io.ReadFull(a, buf)
+	if string(buf) != "world" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestBufferedPipeWritesNeverBlock(t *testing.T) {
+	// The property net.Pipe lacks and TCP has: a writer does not need a
+	// concurrent reader. This is what prevents distributed send cycles
+	// from deadlocking the in-process transport.
+	a, b := newBufferedPipe(inprocAddr("a"), inprocAddr("b"))
+	defer a.Close()
+	defer b.Close()
+	payload := bytes.Repeat([]byte("x"), 1<<16)
+	for i := 0; i < 50; i++ {
+		if _, err := a.Write(payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// All of it is readable, in order.
+	got := make([]byte, 50*len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferedPipeCloseDrainsThenEOF(t *testing.T) {
+	a, b := newBufferedPipe(inprocAddr("a"), inprocAddr("b"))
+	a.Write([]byte("last words"))
+	a.Close()
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("pending data lost after close: %v", err)
+	}
+	if string(buf) != "last words" {
+		t.Fatalf("read %q", buf)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF after drain, got %v", err)
+	}
+}
+
+func TestBufferedPipeCloseAbortsBlockedRead(t *testing.T) {
+	a, b := newBufferedPipe(inprocAddr("a"), inprocAddr("b"))
+	_ = b
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := a.Read(buf)
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; err == nil {
+		t.Fatal("blocked read survived close")
+	}
+}
+
+func TestBufferedPipeWriteAfterPeerClose(t *testing.T) {
+	a, b := newBufferedPipe(inprocAddr("a"), inprocAddr("b"))
+	b.Close()
+	// The peer killed its read buffer; our writes fail.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+func TestBufferedPipeConcurrentUse(t *testing.T) {
+	a, b := newBufferedPipe(inprocAddr("a"), inprocAddr("b"))
+	defer a.Close()
+	defer b.Close()
+	const msgs = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < msgs; i++ {
+			a.Write([]byte{byte(i)})
+		}
+	}()
+	var got []byte
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 16)
+		for len(got) < msgs {
+			n, err := b.Read(buf)
+			if err != nil {
+				return
+			}
+			got = append(got, buf[:n]...)
+		}
+	}()
+	wg.Wait()
+	if len(got) != msgs {
+		t.Fatalf("read %d bytes, want %d", len(got), msgs)
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("byte %d = %d (reordered)", i, v)
+		}
+	}
+}
+
+func TestBufferedPipeAddrs(t *testing.T) {
+	a, b := newBufferedPipe(inprocAddr("left"), inprocAddr("right"))
+	defer a.Close()
+	defer b.Close()
+	if a.LocalAddr().String() != "left" || a.RemoteAddr().String() != "right" {
+		t.Fatalf("a addrs = %v %v", a.LocalAddr(), a.RemoteAddr())
+	}
+	if b.LocalAddr().String() != "right" || b.RemoteAddr().String() != "left" {
+		t.Fatalf("b addrs = %v %v", b.LocalAddr(), b.RemoteAddr())
+	}
+	// Deadlines are accepted as no-ops.
+	if err := a.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetWriteDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Codec errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+// MaxFrameSize bounds a single encoded envelope. Agents carrying class
+// payloads are the largest messages in the system; 16 MiB is far above
+// anything legitimate and protects readers from hostile length prefixes.
+const MaxFrameSize = 16 << 20
+
+// compressionThreshold is the encoded size below which gzip is skipped:
+// tiny control messages grow under gzip, so they travel as stored frames.
+const compressionThreshold = 128
+
+// frame flags.
+const (
+	flagGzip = 1 << 0
+)
+
+// EncodeEnvelope serializes the envelope into a self-delimiting frame:
+//
+//	uint32 length | uint8 flags | body
+//
+// where body is the envelope fields (and is gzip-compressed when large
+// enough to benefit). The returned slice is freshly allocated.
+func EncodeEnvelope(e *Envelope) ([]byte, error) {
+	if !e.Kind.Valid() {
+		return nil, fmt.Errorf("%w: invalid kind %d", ErrBadFrame, e.Kind)
+	}
+	raw := encodeBody(e)
+
+	var flags byte
+	payload := raw
+	if len(raw) >= compressionThreshold {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(raw); err != nil {
+			return nil, fmt.Errorf("wire: compress: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("wire: compress: %w", err)
+		}
+		// Only keep the compressed form when it actually shrinks.
+		if buf.Len() < len(raw) {
+			payload = buf.Bytes()
+			flags |= flagGzip
+		}
+	}
+	if len(payload)+1 > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+
+	out := make([]byte, 4+1+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)+1))
+	out[4] = flags
+	copy(out[5:], payload)
+	return out, nil
+}
+
+// encodeBody lays out the envelope fields in a fixed order.
+func encodeBody(e *Envelope) []byte {
+	n := envelopeHeaderSize + len(e.From) + len(e.To) + len(e.Body)
+	buf := make([]byte, 0, n)
+	buf = append(buf, byte(e.Kind), e.TTL, e.Hops)
+	buf = append(buf, e.ID[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.From)))
+	buf = append(buf, e.From...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.To)))
+	buf = append(buf, e.To...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Body)))
+	buf = append(buf, e.Body...)
+	return buf
+}
+
+// decodeBody parses the fixed layout produced by encodeBody.
+func decodeBody(raw []byte) (*Envelope, error) {
+	if len(raw) < 3+16+2 {
+		return nil, ErrBadFrame
+	}
+	e := &Envelope{Kind: Kind(raw[0]), TTL: raw[1], Hops: raw[2]}
+	if !e.Kind.Valid() {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, raw[0])
+	}
+	copy(e.ID[:], raw[3:19])
+	p := 19
+
+	readStr := func() (string, error) {
+		if len(raw)-p < 2 {
+			return "", ErrBadFrame
+		}
+		n := int(binary.BigEndian.Uint16(raw[p:]))
+		p += 2
+		if len(raw)-p < n {
+			return "", ErrBadFrame
+		}
+		s := string(raw[p : p+n])
+		p += n
+		return s, nil
+	}
+	var err error
+	if e.From, err = readStr(); err != nil {
+		return nil, err
+	}
+	if e.To, err = readStr(); err != nil {
+		return nil, err
+	}
+	if len(raw)-p < 4 {
+		return nil, ErrBadFrame
+	}
+	bn := int(binary.BigEndian.Uint32(raw[p:]))
+	p += 4
+	if len(raw)-p != bn {
+		return nil, fmt.Errorf("%w: body length %d, have %d", ErrBadFrame, bn, len(raw)-p)
+	}
+	if bn > 0 {
+		e.Body = append([]byte(nil), raw[p:]...)
+	}
+	return e, nil
+}
+
+// DecodeEnvelope parses a frame produced by EncodeEnvelope. The input must
+// contain exactly one frame.
+func DecodeEnvelope(frame []byte) (*Envelope, error) {
+	if len(frame) < 5 {
+		return nil, ErrBadFrame
+	}
+	n := binary.BigEndian.Uint32(frame[0:4])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if int(n) != len(frame)-4 {
+		return nil, fmt.Errorf("%w: declared %d bytes, have %d", ErrBadFrame, n, len(frame)-4)
+	}
+	return decodeFlagged(frame[4], frame[5:])
+}
+
+func decodeFlagged(flags byte, payload []byte) (*Envelope, error) {
+	if flags&flagGzip != 0 {
+		zr, err := gzip.NewReader(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("wire: decompress: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, MaxFrameSize+1))
+		if err != nil {
+			return nil, fmt.Errorf("wire: decompress: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("wire: decompress: %w", err)
+		}
+		if len(raw) > MaxFrameSize {
+			return nil, ErrFrameTooLarge
+		}
+		payload = raw
+	}
+	return decodeBody(payload)
+}
+
+// WriteEnvelope encodes the envelope and writes the frame to w.
+func WriteEnvelope(w io.Writer, e *Envelope) error {
+	frame, err := EncodeEnvelope(e)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadEnvelope reads one frame from r and decodes it. It blocks until a
+// full frame is available or the stream ends.
+func ReadEnvelope(r io.Reader) (*Envelope, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n == 0 || n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return decodeFlagged(hdr[4], payload)
+}
+
+// Conn wraps a bidirectional byte stream with buffered envelope I/O.
+type Conn struct {
+	rw io.ReadWriter
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewConn wraps rw for envelope exchange.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{rw: rw, br: bufio.NewReader(rw), bw: bufio.NewWriter(rw)}
+}
+
+// Send encodes, writes and flushes one envelope.
+func (c *Conn) Send(e *Envelope) error {
+	if err := WriteEnvelope(c.bw, e); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the next envelope.
+func (c *Conn) Recv() (*Envelope, error) { return ReadEnvelope(c.br) }

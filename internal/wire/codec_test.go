@@ -1,0 +1,301 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEnvelope() *Envelope {
+	return &Envelope{
+		Kind: KindAgent,
+		ID:   NewMsgID(),
+		TTL:  7,
+		Hops: 2,
+		From: "node-a:4001",
+		To:   "node-b:4002",
+		Body: []byte("hello, peers"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := sampleEnvelope()
+	frame, err := EncodeEnvelope(e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("round trip mismatch:\n have %+v\n want %+v", got, e)
+	}
+}
+
+func TestEncodeDecodeEmptyBody(t *testing.T) {
+	e := &Envelope{Kind: KindPeerProbe, ID: NewMsgID(), TTL: 1}
+	frame, err := EncodeEnvelope(e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Body != nil {
+		t.Fatalf("expected nil body, got %q", got.Body)
+	}
+	if got.Kind != KindPeerProbe || got.TTL != 1 || got.Hops != 0 {
+		t.Fatalf("fields corrupted: %+v", got)
+	}
+}
+
+func TestEncodeRejectsInvalidKind(t *testing.T) {
+	if _, err := EncodeEnvelope(&Envelope{Kind: KindInvalid}); err == nil {
+		t.Fatal("expected error for invalid kind")
+	}
+	if _, err := EncodeEnvelope(&Envelope{Kind: kindSentinel}); err == nil {
+		t.Fatal("expected error for out-of-range kind")
+	}
+}
+
+func TestLargeBodyIsCompressed(t *testing.T) {
+	e := sampleEnvelope()
+	e.Body = bytes.Repeat([]byte("abcdefgh"), 4096) // highly compressible
+	frame, err := EncodeEnvelope(e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if len(frame) >= len(e.Body) {
+		t.Fatalf("compressible body not compressed: frame=%d body=%d", len(frame), len(e.Body))
+	}
+	if frame[4]&flagGzip == 0 {
+		t.Fatal("gzip flag not set on large frame")
+	}
+	got, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got.Body, e.Body) {
+		t.Fatal("compressed round trip corrupted body")
+	}
+}
+
+func TestIncompressibleBodyStaysStored(t *testing.T) {
+	e := sampleEnvelope()
+	body := make([]byte, 8192)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(body)
+	e.Body = body
+	frame, err := EncodeEnvelope(e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if frame[4]&flagGzip != 0 {
+		t.Fatal("random body should not carry the gzip flag")
+	}
+	got, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got.Body, body) {
+		t.Fatal("stored round trip corrupted body")
+	}
+}
+
+func TestSmallFrameSkipsCompression(t *testing.T) {
+	e := &Envelope{Kind: KindPeerProbe, ID: NewMsgID(), TTL: 3, Body: []byte("ok")}
+	frame, err := EncodeEnvelope(e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if frame[4]&flagGzip != 0 {
+		t.Fatal("tiny frame should not be gzipped")
+	}
+}
+
+func TestDecodeRejectsTruncatedFrames(t *testing.T) {
+	frame, err := EncodeEnvelope(sampleEnvelope())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeEnvelope(frame[:cut]); err == nil {
+			t.Fatalf("decode accepted frame truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsOversizeDeclaredLength(t *testing.T) {
+	frame := make([]byte, 16)
+	binary.BigEndian.PutUint32(frame, MaxFrameSize+1)
+	if _, err := DecodeEnvelope(frame); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	frame, err := EncodeEnvelope(sampleEnvelope())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := DecodeEnvelope(append(frame, 0xFF)); err == nil {
+		t.Fatal("decode accepted frame with trailing byte")
+	}
+}
+
+func TestReadWriteStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*Envelope{
+		sampleEnvelope(),
+		{Kind: KindResult, ID: NewMsgID(), TTL: 1, Hops: 4, From: "x", To: "y", Body: []byte("r")},
+		{Kind: KindLigloRegister, ID: NewMsgID(), TTL: 1},
+	}
+	for _, e := range want {
+		if err := WriteEnvelope(&buf, e); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, w := range want {
+		got, err := ReadEnvelope(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("stream message %d mismatch:\n have %+v\n want %+v", i, got, w)
+		}
+	}
+	if _, err := ReadEnvelope(&buf); err != io.EOF {
+		t.Fatalf("want io.EOF at end of stream, got %v", err)
+	}
+}
+
+func TestConnSendRecv(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	e := sampleEnvelope()
+	if err := c.Send(e); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("conn round trip mismatch")
+	}
+}
+
+func TestForwardedAdjustsCounters(t *testing.T) {
+	e := sampleEnvelope()
+	f := e.Forwarded("b", "c")
+	if f.TTL != e.TTL-1 || f.Hops != e.Hops+1 {
+		t.Fatalf("forwarded counters wrong: %+v", f)
+	}
+	if f.From != "b" || f.To != "c" {
+		t.Fatalf("forwarded addresses wrong: %+v", f)
+	}
+	if e.TTL != 7 || e.Hops != 2 {
+		t.Fatal("Forwarded mutated the original")
+	}
+	// TTL saturates at zero.
+	z := &Envelope{Kind: KindAgent, TTL: 0}
+	if got := z.Forwarded("a", "b"); got.TTL != 0 {
+		t.Fatalf("TTL should saturate at 0, got %d", got.TTL)
+	}
+	if !z.Expired() {
+		t.Fatal("zero-TTL envelope should be expired")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindAgent.String() != "agent" {
+		t.Fatalf("KindAgent.String() = %q", KindAgent.String())
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Fatalf("unknown kind string = %q", Kind(200).String())
+	}
+	for k := KindAgent; k < kindSentinel; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if !k.Valid() {
+			t.Fatalf("kind %d should be valid", k)
+		}
+	}
+	if KindInvalid.Valid() {
+		t.Fatal("KindInvalid must not be valid")
+	}
+}
+
+func TestNewMsgIDUnique(t *testing.T) {
+	seen := make(map[MsgID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewMsgID()
+		if id.IsZero() {
+			t.Fatal("NewMsgID returned zero id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate MsgID after %d draws", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBPIDString(t *testing.T) {
+	b := BPID{LIGLO: "liglo-1:9000", Node: 42}
+	if b.String() != "liglo-1:9000/42" {
+		t.Fatalf("BPID.String() = %q", b.String())
+	}
+	if b.IsZero() {
+		t.Fatal("assigned BPID reported zero")
+	}
+	if !(BPID{}).IsZero() {
+		t.Fatal("zero BPID not reported zero")
+	}
+}
+
+// Property: every envelope with valid kind round-trips exactly.
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	f := func(kindSeed uint8, ttl, hops uint8, from, to string, body []byte) bool {
+		kind := Kind(kindSeed%uint8(kindSentinel-1)) + 1
+		if len(from) > 1<<10 {
+			from = from[:1<<10]
+		}
+		if len(to) > 1<<10 {
+			to = to[:1<<10]
+		}
+		e := &Envelope{Kind: kind, ID: NewMsgID(), TTL: ttl, Hops: hops, From: from, To: to, Body: body}
+		frame, err := EncodeEnvelope(e)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeEnvelope(frame)
+		if err != nil {
+			return false
+		}
+		if len(body) == 0 {
+			// decoder normalizes empty body to nil
+			return got.Kind == e.Kind && got.ID == e.ID && got.TTL == ttl &&
+				got.Hops == hops && got.From == from && got.To == to && len(got.Body) == 0
+		}
+		return reflect.DeepEqual(got, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSizeMatchesEncodedOrder(t *testing.T) {
+	e := sampleEnvelope()
+	if got, want := e.WireSize(), envelopeHeaderSize+len(e.From)+len(e.To)+len(e.Body); got != want {
+		t.Fatalf("WireSize = %d, want %d", got, want)
+	}
+}

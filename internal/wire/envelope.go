@@ -1,0 +1,123 @@
+package wire
+
+import "fmt"
+
+// Kind identifies the protocol-level meaning of an envelope.
+type Kind uint8
+
+// Message kinds. The BestPeer, client/server, Gnutella and LIGLO protocols
+// share one envelope format so that transports and the simulator can route
+// any of them.
+const (
+	KindInvalid Kind = iota
+
+	// BestPeer protocol.
+	KindAgent       // a serialized mobile agent travelling to a peer
+	KindResult      // answers returned directly to the base node (mode 1)
+	KindHint        // indication that answers exist, without the data (mode 2)
+	KindFetch       // follow-up request for data advertised by a hint (mode 2)
+	KindClassWant   // destination lacks the agent's class; request it
+	KindClassShip   // class payload transfer
+	KindPeerProbe   // liveness probe between peers
+	KindPeerProbeOK // probe acknowledgement
+
+	// Client/server baseline protocol.
+	KindCSQuery  // plain query shipped to a server
+	KindCSAnswer // answers returned along the query path
+
+	// Gnutella baseline protocol.
+	KindGnuPing
+	KindGnuPong
+	KindGnuQuery
+	KindGnuQueryHit
+
+	// LIGLO protocol.
+	KindLigloRegister  // first-time registration, requests a BPID
+	KindLigloRegisterd // registration reply: BPID plus initial peer list
+	KindLigloRejoin    // reconnect: report current address
+	KindLigloLookup    // resolve a BPID to its current address/status
+	KindLigloStatus    // lookup reply
+	KindLigloProbe     // server-initiated liveness validation
+	KindLigloPeers     // request a fresh peer list
+	KindLigloPeersList // peer list reply
+
+	kindSentinel // keep last
+)
+
+var kindNames = [...]string{
+	KindInvalid:        "invalid",
+	KindAgent:          "agent",
+	KindResult:         "result",
+	KindHint:           "hint",
+	KindFetch:          "fetch",
+	KindClassWant:      "class-want",
+	KindClassShip:      "class-ship",
+	KindPeerProbe:      "peer-probe",
+	KindPeerProbeOK:    "peer-probe-ok",
+	KindCSQuery:        "cs-query",
+	KindCSAnswer:       "cs-answer",
+	KindGnuPing:        "gnu-ping",
+	KindGnuPong:        "gnu-pong",
+	KindGnuQuery:       "gnu-query",
+	KindGnuQueryHit:    "gnu-query-hit",
+	KindLigloRegister:  "liglo-register",
+	KindLigloRegisterd: "liglo-registered",
+	KindLigloRejoin:    "liglo-rejoin",
+	KindLigloLookup:    "liglo-lookup",
+	KindLigloStatus:    "liglo-status",
+	KindLigloProbe:     "liglo-probe",
+	KindLigloPeers:     "liglo-peers",
+	KindLigloPeersList: "liglo-peers-list",
+}
+
+// String returns the symbolic name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k names a defined message kind.
+func (k Kind) Valid() bool { return k > KindInvalid && k < kindSentinel }
+
+// Envelope frames every message exchanged in the system. TTL and Hops are
+// maintained redundantly, exactly as the paper describes: TTL is
+// decremented and Hops incremented at each forwarding step, and together
+// they let a host drop agents it has already seen or that have expired.
+type Envelope struct {
+	Kind Kind
+	ID   MsgID  // duplicate-suppression identifier
+	TTL  uint8  // remaining hops before the message dies
+	Hops uint8  // hops travelled so far
+	From string // transport address of the immediate sender
+	To   string // transport address of the immediate receiver
+	Body []byte // protocol payload, encoded by the codec helpers
+}
+
+// Expired reports whether the envelope's lifetime is exhausted.
+func (e *Envelope) Expired() bool { return e.TTL == 0 }
+
+// Forwarded returns a copy of the envelope adjusted for one forwarding
+// step: TTL decremented, Hops incremented, From/To rewritten. The body is
+// shared, not copied; forwarding must not mutate it.
+func (e *Envelope) Forwarded(from, to string) *Envelope {
+	cp := *e
+	if cp.TTL > 0 {
+		cp.TTL--
+	}
+	cp.Hops++
+	cp.From = from
+	cp.To = to
+	return &cp
+}
+
+// WireSize returns the approximate number of bytes the envelope occupies on
+// the wire before compression. The simulator uses it to charge bandwidth.
+func (e *Envelope) WireSize() int {
+	return envelopeHeaderSize + len(e.From) + len(e.To) + len(e.Body)
+}
+
+// envelopeHeaderSize is the fixed overhead of an encoded envelope: kind,
+// ttl, hops, id, and the three length prefixes.
+const envelopeHeaderSize = 1 + 1 + 1 + 16 + 4 + 2 + 2

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEnvelope: arbitrary bytes must never panic or allocate
+// unboundedly, and every successfully decoded envelope must re-encode.
+func FuzzDecodeEnvelope(f *testing.F) {
+	good, _ := EncodeEnvelope(&Envelope{
+		Kind: KindAgent, ID: NewMsgID(), TTL: 7, Hops: 1,
+		From: "a:1", To: "b:2", Body: []byte("payload"),
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeEnvelope(env)
+		if err != nil {
+			t.Fatalf("decoded envelope failed to re-encode: %v", err)
+		}
+		back, err := DecodeEnvelope(re)
+		if err != nil {
+			t.Fatalf("re-encoded envelope failed to decode: %v", err)
+		}
+		if back.Kind != env.Kind || back.ID != env.ID || !bytes.Equal(back.Body, env.Body) {
+			t.Fatal("re-encode round trip changed the envelope")
+		}
+	})
+}
+
+// FuzzDecoder: the payload decoder must survive arbitrary inputs.
+func FuzzDecoder(f *testing.F) {
+	var e Encoder
+	e.String("s")
+	e.Uvarint(7)
+	e.Bytes2([]byte{1, 2})
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.String()
+		_ = d.Uvarint()
+		_ = d.Bytes2()
+		_ = d.BPID()
+		_ = d.Float64()
+		_ = d.Finish()
+	})
+}
