@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos fuzz ci clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector — the bar every PR must clear.
+race:
+	$(GO) test -race ./...
+
+# Just the fault-injection suites: chaos scenarios over faultnet plus
+# the transport hardening tests.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/core/
+	$(GO) test -race ./internal/transport/...
+
+# Short fuzz passes over the wire codec and agent packet decoders.
+# Each target gets a few seconds — enough to shake out regressions in
+# the corpus without turning CI into a fuzz farm.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeEnvelope -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodePacket -fuzztime $(FUZZTIME) ./internal/agent/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeResults -fuzztime $(FUZZTIME) ./internal/agent/
+	$(GO) test -run '^$$' -fuzz FuzzCompileFilter -fuzztime $(FUZZTIME) ./internal/agent/
+
+ci: build vet race fuzz
+
+clean:
+	$(GO) clean -testcache

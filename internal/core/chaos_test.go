@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/liglo"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/topology"
+	"bestpeer/internal/transport"
+	"bestpeer/internal/transport/faultnet"
+)
+
+// Chaos tests drive full BestPeer nodes through the failure classes the
+// paper's liveness story depends on — lossy links, partitions, dead
+// LIGLO servers, half-dead hosts — using the faultnet fabric. Every node
+// sees the network through its own fabric.Host view, so directional
+// faults apply per edge.
+
+// chaosTransport tunes the messenger for fast failure detection, so
+// tests spend milliseconds (not default seconds) waiting out faults.
+func chaosTransport() transport.Options {
+	return transport.Options{
+		DialTimeout:   250 * time.Millisecond,
+		WriteTimeout:  250 * time.Millisecond,
+		QueueSize:     256,
+		FailThreshold: 2,
+		BackoffBase:   50 * time.Millisecond,
+		BackoffMax:    250 * time.Millisecond,
+	}
+}
+
+func chaosLiglo() liglo.ClientOptions {
+	return liglo.ClientOptions{
+		DialTimeout: 250 * time.Millisecond,
+		CallTimeout: time.Second,
+		Retries:     2,
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  200 * time.Millisecond,
+	}
+}
+
+// newChaosCluster starts n nodes whose traffic all flows through one
+// fault fabric seeded for reproducibility.
+func newChaosCluster(t *testing.T, n int, seed int64, seedFn func(i int, s *storm.Store)) (*cluster, *faultnet.Fabric) {
+	t.Helper()
+	fab := faultnet.New(transport.NewInProc(), seed)
+	c := newCluster(t, n, func(i int, cfg *Config) {
+		cfg.Network = fab.Host(cfg.ListenAddr)
+		cfg.Transport = chaosTransport()
+		cfg.Liglo = chaosLiglo()
+	}, seedFn)
+	return c, fab
+}
+
+// TestChaosQueryUnderMessageLoss floods a 20-node random overlay with a
+// query while every message independently has a 20% chance of being
+// dropped. Redundant paths and direct answer returns must still deliver
+// a healthy majority of the answers.
+func TestChaosQueryUnderMessageLoss(t *testing.T) {
+	const n = 20
+	c, fab := newChaosCluster(t, n, 1, func(i int, s *storm.Store) {
+		s.Put(&storm.Object{
+			Name:     fmt.Sprintf("music-%d", i),
+			Keywords: []string{"music"},
+			Data:     []byte{byte(i)},
+		})
+	})
+	c.wire(topology.Random(n, 4, 7))
+	fab.SetConfig(faultnet.Config{DropProb: 0.2})
+
+	res, err := c.nodes[0].Query(&agent.KeywordAgent{Query: "music"}, QueryOptions{
+		Timeout:       2 * time.Second,
+		NoReconfigure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 answers locally; 19 remote answers are each at risk. With
+	// p=0.2 per message and redundant propagation paths, fewer than half
+	// arriving would mean the non-blocking path is eating messages on
+	// top of the injected loss.
+	if got := len(res.Answers); got < 10 {
+		t.Fatalf("answers = %d of %d under 20%% loss, want >= 10 (stats: %+v)",
+			got, n, fab.Stats())
+	}
+	if s := fab.Stats(); s.MessagesDropped == 0 {
+		t.Fatalf("fault fabric dropped nothing; the test exercised a perfect network")
+	}
+	t.Logf("answers=%d/%d stats=%+v", len(res.Answers), n, fab.Stats())
+}
+
+// TestChaosPartitionHealsViaSweepAndReplenish partitions an 8-node
+// network in half, lets SweepPeers drop the unreachable half, then
+// heals and replenishes from LIGLO — the paper's "simply replace those
+// peers by new peers that it encounters".
+func TestChaosPartitionHealsViaSweepAndReplenish(t *testing.T) {
+	const n = 8
+	c, fab := newChaosCluster(t, n, 2, func(i int, s *storm.Store) {
+		s.Put(&storm.Object{
+			Name:     fmt.Sprintf("chaos-%d", i),
+			Keywords: []string{"chaos"},
+			Data:     []byte{byte(i)},
+		})
+	})
+	srv, err := liglo.NewServer(fab.Host("liglo-chaos"), "liglo-chaos", liglo.ServerConfig{InitialPeers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, node := range c.nodes {
+		if err := node.Join([]string{"liglo-chaos"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cross-wire the halves: node i peers with a same-half neighbour and
+	// its opposite number across the divide.
+	var halfA, halfB []string
+	for i, node := range c.nodes {
+		same := (i + 1) % (n / 2)
+		cross := (i + n/2) % n
+		if i >= n/2 {
+			same += n / 2
+			cross = i - n/2
+		}
+		node.SetPeers([]Peer{
+			{Addr: c.nodes[same].Addr()},
+			{Addr: c.nodes[cross].Addr()},
+		})
+		if i < n/2 {
+			halfA = append(halfA, node.Addr())
+		} else {
+			halfB = append(halfB, node.Addr())
+		}
+	}
+
+	base := c.nodes[0]
+	crossAddr := c.nodes[n/2].Addr()
+	if !base.Probe(crossAddr, 500*time.Millisecond) {
+		t.Fatal("cross-half probe failed before the partition")
+	}
+
+	// Partition: the LIGLO server is in neither set, so it stays
+	// reachable from both sides, as a global-name server should be.
+	fab.Partition(halfA, halfB)
+	if base.Probe(crossAddr, 500*time.Millisecond) {
+		t.Fatal("probe crossed a live partition")
+	}
+	dropped := base.SweepPeers(500 * time.Millisecond)
+	if dropped == 0 {
+		t.Fatal("sweep found no unresponsive peers during the partition")
+	}
+	for _, addr := range base.PeerAddrs() {
+		for _, b := range halfB {
+			if addr == b {
+				t.Fatalf("peer %s from the far half survived the sweep", addr)
+			}
+		}
+	}
+
+	fab.HealPartitions()
+	added, err := base.Replenish()
+	if err != nil {
+		t.Fatalf("replenish after heal: %v", err)
+	}
+	if added == 0 {
+		t.Fatal("replenish added no peers despite freed slots")
+	}
+	// Let any suspect backoff from partition-era failures lapse.
+	time.Sleep(500 * time.Millisecond)
+
+	res, err := base.Query(&agent.KeywordAgent{Query: "chaos"}, QueryOptions{
+		Timeout:       2 * time.Second,
+		NoReconfigure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFar := false
+	for _, a := range res.Answers {
+		for _, b := range halfB {
+			if a.PeerAddr == b {
+				foundFar = true
+			}
+		}
+	}
+	if !foundFar {
+		t.Fatalf("no answers from the healed half; answers=%v", collectNames(res.Answers))
+	}
+}
+
+// TestChaosLigloFailover kills LIGLO servers under a node's feet:
+// registration fails over to the surviving server, Rejoin against a
+// dead home errors out within its bounded retries instead of hanging,
+// and succeeds once the home heals.
+func TestChaosLigloFailover(t *testing.T) {
+	c, fab := newChaosCluster(t, 1, 3, nil)
+	srvA, err := liglo.NewServer(fab.Host("liglo-a"), "liglo-a", liglo.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, err := liglo.NewServer(fab.Host("liglo-b"), "liglo-b", liglo.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	node := c.nodes[0]
+	fab.Kill("liglo-a")
+	if err := node.Join([]string{"liglo-a", "liglo-b"}); err != nil {
+		t.Fatalf("join with one dead server: %v", err)
+	}
+	if home := node.ID().LIGLO; home != "liglo-b" {
+		t.Fatalf("registered with %q, want failover to liglo-b", home)
+	}
+
+	fab.Kill("liglo-b")
+	start := time.Now()
+	if err := node.Rejoin(); err == nil {
+		t.Fatal("rejoin against a dead home server succeeded")
+	}
+	// Bounded: 3 attempts x (250ms dial timeout + backoff) plus
+	// scheduling slack, nowhere near a hang.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rejoin took %v to give up; retries are not bounded", elapsed)
+	}
+
+	fab.Heal("liglo-b")
+	if err := node.Rejoin(); err != nil {
+		t.Fatalf("rejoin after heal: %v", err)
+	}
+}
+
+// TestChaosHungPeerDoesNotStallQuery is the acceptance criterion for
+// the non-blocking send path: a peer whose dial hangs (half-dead host)
+// must not delay the answers of a responsive peer, even though the dial
+// timeout is far longer than the whole query.
+func TestChaosHungPeerDoesNotStallQuery(t *testing.T) {
+	fab := faultnet.New(transport.NewInProc(), 4)
+	// Dial timeout (2s) dwarfs the query window: if the fan-out dialed
+	// inline, the hung first peer would eat the whole collection budget
+	// several times over.
+	c := newCluster(t, 3, func(i int, cfg *Config) {
+		cfg.Network = fab.Host(cfg.ListenAddr)
+		cfg.Transport = transport.Options{DialTimeout: 2 * time.Second}
+	}, func(i int, s *storm.Store) {
+		if i == 2 {
+			s.Put(&storm.Object{Name: "hot-take", Keywords: []string{"hot"}, Data: []byte("x")})
+		}
+	})
+	base := c.nodes[0]
+	hung, live := c.nodes[1].Addr(), c.nodes[2].Addr()
+	base.SetPeers([]Peer{{Addr: hung}, {Addr: live}}) // hung peer first
+	fab.HangDial(hung)
+	defer fab.HealDial(hung)
+
+	start := time.Now()
+	res, err := base.Query(&agent.KeywordAgent{Query: "hot"}, QueryOptions{
+		Timeout:       400 * time.Millisecond,
+		WaitAnswers:   1,
+		SkipLocal:     true,
+		NoReconfigure: true,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 || res.Answers[0].Result.Name != "hot-take" {
+		t.Fatalf("answers = %v, want the live peer's hot-take", collectNames(res.Answers))
+	}
+	if elapsed > time.Second {
+		t.Fatalf("query took %v; a hung peer stalled the fan-out", elapsed)
+	}
+	t.Logf("query returned in %v with a hung first peer", elapsed)
+}

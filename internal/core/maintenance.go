@@ -119,25 +119,51 @@ func (n *Node) StartMaintenance(interval, probeTimeout time.Duration) (stop func
 	}
 }
 
-// SweepPeers probes every direct peer once and removes the unresponsive
-// ones. It returns how many peers were dropped.
+// SweepPeers probes every direct peer concurrently and removes the
+// unresponsive ones, so N dead peers cost one probe timeout, not N. It
+// returns how many peers were found unresponsive. The shrink is guarded
+// by the peer-set generation counter: if the set was mutated while the
+// probes were in flight (a reconfiguration, a Rejoin), the stale result
+// is discarded rather than clobbering the newer set.
 func (n *Node) SweepPeers(probeTimeout time.Duration) int {
-	peers := n.Peers()
-	var alive []Peer
-	for _, p := range peers {
-		if n.Probe(p.Addr, probeTimeout) {
+	n.mu.Lock()
+	peers := append([]Peer(nil), n.peers...)
+	gen := n.peerGen
+	n.mu.Unlock()
+	if len(peers) == 0 {
+		return 0
+	}
+
+	responsive := make([]bool, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			responsive[i] = n.Probe(p.Addr, probeTimeout)
+		}()
+	}
+	wg.Wait()
+
+	alive := peers[:0:0]
+	for i, p := range peers {
+		if responsive[i] {
 			alive = append(alive, p)
 		}
 	}
 	dropped := len(peers) - len(alive)
 	if dropped > 0 {
 		n.mu.Lock()
-		// Only shrink if the peer set was not concurrently replaced.
-		if len(n.peers) == len(peers) {
+		if n.peerGen == gen {
 			n.peers = alive
+			n.peerGen++
+			n.mu.Unlock()
+			n.log.Info("dropped unresponsive peers", "count", dropped)
+		} else {
+			n.mu.Unlock()
+			n.log.Info("sweep result discarded: peer set changed underneath", "stale_dropped", dropped)
 		}
-		n.mu.Unlock()
-		n.log.Info("dropped unresponsive peers", "count", dropped)
 	}
 	return dropped
 }

@@ -64,6 +64,13 @@ type Config struct {
 	// Logger receives structured events (joins, reconfigurations, class
 	// transfers, peer sweeps). Nil discards them.
 	Logger *slog.Logger
+	// Transport tunes the messenger's failure handling (dial/write
+	// timeouts, send-queue bounds, suspect backoff). The zero value
+	// selects the transport package defaults.
+	Transport transport.Options
+	// Liglo tunes the LIGLO client's retry/backoff policy. The zero
+	// value selects the liglo package defaults.
+	Liglo liglo.ClientOptions
 }
 
 // Node is a live BestPeer participant.
@@ -77,10 +84,11 @@ type Node struct {
 	msgr     *transport.Messenger
 	lgc      *liglo.Client
 
-	mu     sync.Mutex
-	id     wire.BPID
-	peers  []Peer
-	closed bool
+	mu      sync.Mutex
+	id      wire.BPID
+	peers   []Peer
+	peerGen uint64 // bumped on every peer-set mutation
+	closed  bool
 
 	seen    *dedup
 	queries sync.Map // wire.MsgID -> *queryState
@@ -155,12 +163,12 @@ func NewNode(cfg Config) (*Node, error) {
 		registry:     reg,
 		active:       act,
 		strategy:     strat,
-		lgc:          liglo.NewClient(cfg.Network),
+		lgc:          liglo.NewClientOpts(cfg.Network, cfg.Liglo),
 		seen:         newDedup(8192),
 		pending:      make(map[string][]pendingAgent),
 		pendingWants: make(map[string][]string),
 	}
-	m, err := transport.NewMessenger(cfg.Network, cfg.ListenAddr, n.handle)
+	m, err := transport.NewMessengerOpts(cfg.Network, cfg.ListenAddr, n.handle, cfg.Transport)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +232,7 @@ func (n *Node) SetPeers(peers []Peer) {
 		peers = peers[:n.cfg.MaxPeers]
 	}
 	n.peers = append([]Peer(nil), peers...)
+	n.peerGen++
 }
 
 // AddPeer appends a direct peer if there is room and it is not already
@@ -240,6 +249,7 @@ func (n *Node) AddPeer(p Peer) bool {
 		return false
 	}
 	n.peers = append(n.peers, p)
+	n.peerGen++
 	return true
 }
 
@@ -268,6 +278,7 @@ func (n *Node) Join(servers []string) error {
 		}
 		n.peers = append(n.peers, Peer{ID: p.ID, Addr: p.Addr})
 	}
+	n.peerGen++
 	count := len(n.peers)
 	n.mu.Unlock()
 	n.log.Info("joined bestpeer network", "bpid", id.String(), "initial_peers", count)
@@ -304,6 +315,7 @@ func (n *Node) Rejoin() error {
 	}
 	n.mu.Lock()
 	n.peers = fresh
+	n.peerGen++
 	n.mu.Unlock()
 	return nil
 }

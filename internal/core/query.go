@@ -64,12 +64,18 @@ type queryState struct {
 	hints   []Answer
 	target  int
 	done    chan struct{}
+	first   chan struct{} // closed when the first reply batch arrives
 	closed  bool
 	replied bool
 }
 
 func newQueryState(target int) *queryState {
-	return &queryState{start: time.Now(), target: target, done: make(chan struct{})}
+	return &queryState{
+		start:  time.Now(),
+		target: target,
+		done:   make(chan struct{}),
+		first:  make(chan struct{}),
+	}
 }
 
 func (q *queryState) deliver(batch *agent.ResultBatch, hint bool) {
@@ -78,7 +84,10 @@ func (q *queryState) deliver(batch *agent.ResultBatch, hint bool) {
 	if q.closed {
 		return
 	}
-	q.replied = true
+	if !q.replied {
+		q.replied = true
+		close(q.first)
+	}
 	at := time.Since(q.start)
 	for _, r := range batch.Results {
 		a := Answer{
@@ -171,7 +180,10 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 		}
 	}
 
-	// Clone to every direct peer in parallel (the transport fans out).
+	// Clone to every direct peer. Sends are queued on the messenger's
+	// per-destination workers, so a hung or slow peer cannot eat into
+	// the collection window — the fan-out completes immediately and the
+	// full timeout below is spent collecting.
 	me := n.Addr()
 	for _, p := range n.Peers() {
 		env := &wire.Envelope{
@@ -301,6 +313,7 @@ func (n *Node) reconfigure(answers, hints []Answer) bool {
 	if changed {
 		n.mu.Lock()
 		n.peers = newSet
+		n.peerGen++
 		n.stats.Reconfigs++
 		n.mu.Unlock()
 		addrs := make([]string, len(newSet))
@@ -327,41 +340,42 @@ func (n *Node) Fetch(peerAddr string, names []string, timeout time.Duration) ([]
 	n.queries.Store(fid, qs)
 	defer n.queries.Delete(fid)
 
-	n.send(peerAddr, &wire.Envelope{
-		Kind: wire.KindFetch,
-		ID:   fid,
-		TTL:  1,
-		From: n.Addr(),
-		To:   peerAddr,
-		Body: encodeFetchReq(&fetchReq{
-			Names:       names,
-			Base:        n.Addr(),
-			BaseID:      n.ID(),
-			AccessLevel: n.cfg.AccessLevel,
-		}),
-	})
+	req := func() *wire.Envelope {
+		return &wire.Envelope{
+			Kind: wire.KindFetch,
+			ID:   fid,
+			TTL:  1,
+			From: n.Addr(),
+			To:   peerAddr,
+			Body: encodeFetchReq(&fetchReq{
+				Names:       names,
+				Base:        n.Addr(),
+				BaseID:      n.ID(),
+				AccessLevel: n.cfg.AccessLevel,
+			}),
+		}
+	}
 
-	// One reply batch is expected; poll the state until it lands.
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		answers, _ := qs.snapshot()
-		if len(answers) > 0 || fetchReplied(qs) {
+	// One reply batch is expected; wait on the first-reply signal rather
+	// than polling. The window is split in two so a request or reply
+	// lost on a faulty network gets exactly one retransmission (the peer
+	// simply re-serves the same names; fetches are idempotent).
+	const attempts = 2
+	per := timeout / attempts
+	for a := 0; a < attempts; a++ {
+		n.send(peerAddr, req())
+		select {
+		case <-qs.first:
+			answers, _ := qs.snapshot()
 			out := make([]agent.Result, len(answers))
-			for i, a := range answers {
-				out[i] = a.Result
+			for i, ans := range answers {
+				out[i] = ans.Result
 			}
 			return out, nil
+		case <-time.After(per):
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
 	return nil, fmt.Errorf("core: fetch from %s timed out", peerAddr)
-}
-
-// fetchReplied reports whether a (possibly empty) reply batch arrived.
-func fetchReplied(qs *queryState) bool {
-	qs.mu.Lock()
-	defer qs.mu.Unlock()
-	return qs.replied
 }
 
 // Probe checks whether a peer is alive by round-tripping a probe message.

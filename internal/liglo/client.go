@@ -3,30 +3,92 @@ package liglo
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"bestpeer/internal/transport"
 	"bestpeer/internal/wire"
 )
+
+// ClientOptions tunes the client's failure handling. The zero value
+// selects the defaults noted on each field.
+type ClientOptions struct {
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one whole request/response exchange, where the
+	// underlying connection honours deadlines. Default 5s.
+	CallTimeout time.Duration
+	// Retries is how many times a failed RegisterAny round or Rejoin
+	// call is reattempted (so Retries+1 total attempts). Only transport
+	// failures retry; protocol rejections are terminal. Default 2.
+	Retries int
+	// BackoffBase is the wait before the first retry; it doubles each
+	// round, capped at BackoffMax. Default 50ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the retry backoff. Default 1s.
+	BackoffMax time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+	if o.Retries <= 0 {
+		o.Retries = 2
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	return o
+}
+
+// backoff returns the wait after the given zero-based retry round.
+func (o ClientOptions) backoff(round int) time.Duration {
+	d := o.BackoffBase
+	for i := 0; i < round && d < o.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > o.BackoffMax {
+		d = o.BackoffMax
+	}
+	return d
+}
 
 // Client talks to LIGLO servers. Connections are per-call: registration
 // and rejoin happen once per session and lookups are rare, so caching
 // buys nothing and a stateless client is simpler to reason about.
 type Client struct {
 	network transport.Network
+	opts    ClientOptions
 }
 
-// NewClient returns a client that dials over the given network.
+// NewClient returns a client that dials over the given network with
+// default options.
 func NewClient(network transport.Network) *Client {
-	return &Client{network: network}
+	return NewClientOpts(network, ClientOptions{})
 }
 
-// call performs one request/response exchange with a server.
+// NewClientOpts returns a client with explicit failure-handling options.
+func NewClientOpts(network transport.Network, opts ClientOptions) *Client {
+	return &Client{network: network, opts: opts.withDefaults()}
+}
+
+// call performs one request/response exchange with a server, bounded by
+// the dial and call timeouts.
 func (c *Client) call(server string, req *wire.Envelope) (*wire.Envelope, error) {
-	conn, err := c.network.Dial(server)
+	conn, err := transport.DialTimeout(c.network, server, c.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("liglo: dial %s: %w", server, err)
 	}
 	defer conn.Close()
+	if ct := c.opts.CallTimeout; ct > 0 {
+		conn.SetDeadline(time.Now().Add(ct))
+	}
 	wc := wire.NewConn(conn)
 	if err := wc.Send(req); err != nil {
 		return nil, fmt.Errorf("liglo: send to %s: %w", server, err)
@@ -67,25 +129,53 @@ func (c *Client) Register(server, myAddr string) (wire.BPID, []PeerInfo, error) 
 
 // RegisterAny tries each server in order until one accepts — the paper's
 // "the node has to seek for another LIGLO" behaviour when a server is at
-// capacity or down.
+// capacity or down. A round where every server was unreachable is
+// retried with exponential backoff, bounded by Retries; a round where
+// every server answered ErrFull is terminal (backing off will not free
+// capacity a human did not).
 func (c *Client) RegisterAny(servers []string, myAddr string) (wire.BPID, []PeerInfo, error) {
+	if len(servers) == 0 {
+		return wire.BPID{}, nil, errors.New("liglo: no servers given")
+	}
 	var lastErr error
-	for _, s := range servers {
-		id, peers, err := c.Register(s, myAddr)
-		if err == nil {
-			return id, peers, nil
+	for round := 0; ; round++ {
+		allFull := true
+		for _, s := range servers {
+			id, peers, err := c.Register(s, myAddr)
+			if err == nil {
+				return id, peers, nil
+			}
+			if !errors.Is(err, ErrFull) {
+				allFull = false
+			}
+			lastErr = err
 		}
-		lastErr = err
+		if allFull || round >= c.opts.Retries {
+			return wire.BPID{}, nil, lastErr
+		}
+		time.Sleep(c.opts.backoff(round))
 	}
-	if lastErr == nil {
-		lastErr = errors.New("liglo: no servers given")
-	}
-	return wire.BPID{}, nil, lastErr
 }
 
 // Rejoin reports the node's current address to its home server after a
-// reconnect.
+// reconnect, retrying transport failures with exponential backoff.
+// Protocol rejections (ErrUnknown, ErrWrongHome) are terminal.
 func (c *Client) Rejoin(id wire.BPID, myAddr string) error {
+	var lastErr error
+	for round := 0; ; round++ {
+		err := c.rejoinOnce(id, myAddr)
+		if err == nil || errors.Is(err, ErrUnknown) || errors.Is(err, ErrWrongHome) {
+			return err
+		}
+		lastErr = err
+		if round >= c.opts.Retries {
+			return lastErr
+		}
+		time.Sleep(c.opts.backoff(round))
+	}
+}
+
+func (c *Client) rejoinOnce(id wire.BPID, myAddr string) error {
 	req := &wire.Envelope{
 		Kind: wire.KindLigloRejoin,
 		ID:   wire.NewMsgID(),

@@ -1,0 +1,337 @@
+// Package faultnet injects faults into a transport.Network so the live
+// BestPeer stack can be driven through the failure classes the paper's
+// liveness claims depend on: lossy links, slow links, unreachable hosts,
+// partitioned address sets and one-way black holes.
+//
+// A Fabric wraps any inner Network (TCP or InProc). Probabilistic faults
+// — dial failure, per-message drop, per-message delay jitter — draw from
+// one seeded PRNG, so a test that fixes the seed sees the same fault
+// pattern on every run (up to goroutine interleaving of concurrent
+// senders; per-destination traffic is serialized by the messenger's send
+// workers, which keeps single-flow runs reproducible).
+//
+// Message granularity: the messenger writes exactly one frame per
+// net.Conn Write, so dropping or delaying whole Write calls drops or
+// delays whole envelopes without corrupting stream framing. The same
+// holds for the LIGLO client/server, whose requests fit one buffered
+// flush.
+//
+// Directional faults need to know who is dialing. Fabric.Host(addr)
+// returns a Network view bound to a source address; give each node its
+// own view and partitions and black holes become enforceable per edge.
+// Dials made on the Fabric itself carry the empty source address.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bestpeer/internal/transport"
+)
+
+// Config holds the probabilistic fault knobs. All zero means a perfect
+// network; install with Fabric.SetConfig at any time.
+type Config struct {
+	// DialFailProb is the probability a dial fails outright.
+	DialFailProb float64
+	// DropProb is the probability one message (one conn Write) is
+	// silently discarded while the connection stays healthy.
+	DropProb float64
+	// Delay is added to every message before it is written.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	DialsAttempted  uint64
+	DialsFailed     uint64 // probabilistic dial failures
+	DialsRefused    uint64 // kills and partitions
+	MessagesDropped uint64 // probabilistic drops plus black holes
+	MessagesDelayed uint64
+	ConnsSevered    uint64 // live connections cut by Kill/Partition
+}
+
+type edge struct{ src, dst string }
+
+type partition struct {
+	a, b map[string]bool
+}
+
+func (p partition) cuts(src, dst string) bool {
+	return (p.a[src] && p.b[dst]) || (p.b[src] && p.a[dst])
+}
+
+// Fabric is a fault-injecting wrapper around an inner Network.
+type Fabric struct {
+	inner transport.Network
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	cfg        Config
+	killed     map[string]bool
+	hungDials  map[string]chan struct{}
+	holes      map[edge]bool
+	partitions []partition
+	conns      map[*faultConn]struct{}
+
+	dialsAttempted  atomic.Uint64
+	dialsFailed     atomic.Uint64
+	dialsRefused    atomic.Uint64
+	messagesDropped atomic.Uint64
+	messagesDelayed atomic.Uint64
+	connsSevered    atomic.Uint64
+}
+
+// New wraps inner with a fault fabric whose probabilistic faults are
+// driven by the given seed.
+func New(inner transport.Network, seed int64) *Fabric {
+	return &Fabric{
+		inner:     inner,
+		rng:       rand.New(rand.NewSource(seed)),
+		killed:    make(map[string]bool),
+		hungDials: make(map[string]chan struct{}),
+		holes:     make(map[edge]bool),
+		conns:     make(map[*faultConn]struct{}),
+	}
+}
+
+// SetConfig installs the probabilistic fault knobs.
+func (f *Fabric) SetConfig(cfg Config) {
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// Stats returns a snapshot of the fault counters.
+func (f *Fabric) Stats() Stats {
+	return Stats{
+		DialsAttempted:  f.dialsAttempted.Load(),
+		DialsFailed:     f.dialsFailed.Load(),
+		DialsRefused:    f.dialsRefused.Load(),
+		MessagesDropped: f.messagesDropped.Load(),
+		MessagesDelayed: f.messagesDelayed.Load(),
+		ConnsSevered:    f.connsSevered.Load(),
+	}
+}
+
+// Host returns a Network view whose dials carry src as the source
+// address, so directional rules (partitions, black holes) apply to the
+// traffic this host originates.
+func (f *Fabric) Host(src string) transport.Network {
+	return &hostNet{f: f, src: src}
+}
+
+type hostNet struct {
+	f   *Fabric
+	src string
+}
+
+func (h *hostNet) Listen(addr string) (net.Listener, error) { return h.f.inner.Listen(addr) }
+func (h *hostNet) Dial(addr string) (net.Conn, error)       { return h.f.dialFrom(h.src, addr) }
+
+// Listen implements transport.Network, delegating to the inner network.
+func (f *Fabric) Listen(addr string) (net.Listener, error) { return f.inner.Listen(addr) }
+
+// Dial implements transport.Network with an anonymous source address.
+func (f *Fabric) Dial(addr string) (net.Conn, error) { return f.dialFrom("", addr) }
+
+// Kill makes addr unreachable in both directions: dials to or from it
+// fail and its live connections are severed. The listener itself is
+// untouched — the process is alive, the network link is not.
+func (f *Fabric) Kill(addr string) {
+	f.mu.Lock()
+	f.killed[addr] = true
+	victims := f.collectLocked(func(c *faultConn) bool { return c.src == addr || c.dst == addr })
+	f.mu.Unlock()
+	f.sever(victims)
+}
+
+// Heal reverses Kill.
+func (f *Fabric) Heal(addr string) {
+	f.mu.Lock()
+	delete(f.killed, addr)
+	f.mu.Unlock()
+}
+
+// Partition makes every address in a mutually unreachable with every
+// address in b: crossing dials fail and crossing live connections are
+// severed. Multiple partitions stack.
+func (f *Fabric) Partition(a, b []string) {
+	p := partition{a: make(map[string]bool, len(a)), b: make(map[string]bool, len(b))}
+	for _, s := range a {
+		p.a[s] = true
+	}
+	for _, s := range b {
+		p.b[s] = true
+	}
+	f.mu.Lock()
+	f.partitions = append(f.partitions, p)
+	victims := f.collectLocked(func(c *faultConn) bool { return p.cuts(c.src, c.dst) })
+	f.mu.Unlock()
+	f.sever(victims)
+}
+
+// HealPartitions removes every partition.
+func (f *Fabric) HealPartitions() {
+	f.mu.Lock()
+	f.partitions = nil
+	f.mu.Unlock()
+}
+
+// BlackHole silently discards messages flowing src -> dst while the
+// connection itself stays up — the receiver simply never hears from the
+// sender. Use "*" as src to swallow traffic to dst from every source.
+// Dials still succeed: a black hole is invisible to the sender.
+func (f *Fabric) BlackHole(src, dst string) {
+	f.mu.Lock()
+	f.holes[edge{src, dst}] = true
+	f.mu.Unlock()
+}
+
+// HealBlackHole removes a black hole installed with the same arguments.
+func (f *Fabric) HealBlackHole(src, dst string) {
+	f.mu.Lock()
+	delete(f.holes, edge{src, dst})
+	f.mu.Unlock()
+}
+
+// HangDial makes dials to addr block until HealDial — the classic
+// half-dead host that neither accepts nor refuses. Callers survive via
+// their own dial timeouts.
+func (f *Fabric) HangDial(addr string) {
+	f.mu.Lock()
+	if _, ok := f.hungDials[addr]; !ok {
+		f.hungDials[addr] = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// HealDial releases dialers blocked by HangDial.
+func (f *Fabric) HealDial(addr string) {
+	f.mu.Lock()
+	if ch, ok := f.hungDials[addr]; ok {
+		close(ch)
+		delete(f.hungDials, addr)
+	}
+	f.mu.Unlock()
+}
+
+// collectLocked gathers tracked connections matching pred. Caller holds
+// f.mu; severing happens outside the lock.
+func (f *Fabric) collectLocked(pred func(*faultConn) bool) []*faultConn {
+	var out []*faultConn
+	for c := range f.conns {
+		if pred(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (f *Fabric) sever(conns []*faultConn) {
+	for _, c := range conns {
+		f.connsSevered.Add(1)
+		c.Close()
+	}
+}
+
+// blockedLocked reports whether traffic src -> dst is administratively
+// cut. Caller holds f.mu.
+func (f *Fabric) blockedLocked(src, dst string) bool {
+	if f.killed[src] || f.killed[dst] {
+		return true
+	}
+	for _, p := range f.partitions {
+		if p.cuts(src, dst) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Fabric) dialFrom(src, dst string) (net.Conn, error) {
+	f.dialsAttempted.Add(1)
+	f.mu.Lock()
+	hang := f.hungDials[dst]
+	blocked := f.blockedLocked(src, dst)
+	failRoll := f.cfg.DialFailProb > 0 && f.rng.Float64() < f.cfg.DialFailProb
+	f.mu.Unlock()
+
+	if hang != nil {
+		<-hang
+		// Re-check the rules as they stand after the heal.
+		f.mu.Lock()
+		blocked = f.blockedLocked(src, dst)
+		f.mu.Unlock()
+	}
+	if blocked {
+		f.dialsRefused.Add(1)
+		return nil, fmt.Errorf("faultnet: %s -> %s unreachable (killed or partitioned)", src, dst)
+	}
+	if failRoll {
+		f.dialsFailed.Add(1)
+		return nil, fmt.Errorf("faultnet: injected dial failure %s -> %s", src, dst)
+	}
+	conn, err := f.inner.Dial(dst)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{Conn: conn, f: f, src: src, dst: dst}
+	f.mu.Lock()
+	f.conns[fc] = struct{}{}
+	f.mu.Unlock()
+	return fc, nil
+}
+
+// faultConn applies per-message faults on the write path. Only dialed
+// connections are wrapped; in the messenger-based stack every protocol
+// message travels over a dialed connection's writes (accepted
+// connections are read-only), so write-side faults cover all sends.
+type faultConn struct {
+	net.Conn
+	f        *Fabric
+	src, dst string
+	once     sync.Once
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	f := c.f
+	f.mu.Lock()
+	blocked := f.blockedLocked(c.src, c.dst)
+	hole := f.holes[edge{c.src, c.dst}] || f.holes[edge{"*", c.dst}]
+	drop := f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb
+	delay := f.cfg.Delay
+	if f.cfg.Jitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
+	}
+	f.mu.Unlock()
+
+	if blocked {
+		return 0, fmt.Errorf("faultnet: %s -> %s severed", c.src, c.dst)
+	}
+	if delay > 0 {
+		f.messagesDelayed.Add(1)
+		time.Sleep(delay)
+	}
+	if hole || drop {
+		// The sender believes the write succeeded; the bytes are gone.
+		f.messagesDropped.Add(1)
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.once.Do(func() {
+		c.f.mu.Lock()
+		delete(c.f.conns, c)
+		c.f.mu.Unlock()
+	})
+	return c.Conn.Close()
+}

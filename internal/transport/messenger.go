@@ -5,43 +5,107 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bestpeer/internal/wire"
 )
 
-// ErrMessengerClosed reports use after Close.
-var ErrMessengerClosed = errors.New("transport: messenger closed")
+// Messenger errors.
+var (
+	// ErrMessengerClosed reports use after Close.
+	ErrMessengerClosed = errors.New("transport: messenger closed")
+	// ErrQueueFull reports that a destination's bounded send queue is
+	// full; the message was dropped rather than blocking the caller.
+	ErrQueueFull = errors.New("transport: send queue full")
+	// ErrPeerSuspect reports that the destination has failed repeatedly
+	// and is being skipped until its backoff expires.
+	ErrPeerSuspect = errors.New("transport: peer suspect, backing off")
+)
+
+// Options tunes the messenger's failure handling. The zero value selects
+// the defaults noted on each field.
+type Options struct {
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one envelope write on an established
+	// connection (where the underlying conn honours deadlines).
+	// Default 2s.
+	WriteTimeout time.Duration
+	// QueueSize bounds each destination's send queue. A full queue makes
+	// Send return ErrQueueFull instead of blocking. Default 128.
+	QueueSize int
+	// FailThreshold is how many consecutive delivery failures mark a
+	// destination suspect. Default 3.
+	FailThreshold int
+	// BackoffBase is the suspect backoff after FailThreshold failures;
+	// it doubles with each further failure. Default 100ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the suspect backoff. Default 10s.
+	BackoffMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 128
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 10 * time.Second
+	}
+	return o
+}
 
 // Messenger delivers wire envelopes between named endpoints. Each
 // messenger owns a listener; incoming connections are read in their own
 // goroutines and every decoded envelope is handed to the handler.
-// Outgoing connections are cached per destination and re-dialed on
-// failure.
+//
+// Outgoing delivery is asynchronous: Send enqueues onto a bounded
+// per-destination queue drained by a dedicated worker, so a slow or
+// unreachable peer can never block the caller. Per-destination ordering
+// is preserved. A destination that fails FailThreshold times in a row is
+// marked suspect and skipped (Send returns ErrPeerSuspect) until an
+// exponential backoff expires; one successful delivery clears it.
 type Messenger struct {
 	network  Network
 	listener net.Listener
 	handler  func(*wire.Envelope)
+	opts     Options
 
 	mu     sync.Mutex
-	outs   map[string]*outConn
+	outs   map[string]*sendQueue
 	ins    map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+	done   chan struct{}
 
 	// Stats.
-	Sent     uint64
-	Received uint64
+	sent          atomic.Uint64
+	received      atomic.Uint64
+	dropped       atomic.Uint64
+	redials       atomic.Uint64
+	handlerPanics atomic.Uint64
 }
 
-type outConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *wire.Conn
-}
-
-// NewMessenger binds addr on the network and starts accepting. handler is
+// NewMessenger binds addr on the network with default options. handler is
 // invoked from reader goroutines — it must be safe for concurrent use.
 func NewMessenger(network Network, addr string, handler func(*wire.Envelope)) (*Messenger, error) {
+	return NewMessengerOpts(network, addr, handler, Options{})
+}
+
+// NewMessengerOpts binds addr on the network and starts accepting.
+func NewMessengerOpts(network Network, addr string, handler func(*wire.Envelope), opts Options) (*Messenger, error) {
 	l, err := network.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -50,8 +114,10 @@ func NewMessenger(network Network, addr string, handler func(*wire.Envelope)) (*
 		network:  network,
 		listener: l,
 		handler:  handler,
-		outs:     make(map[string]*outConn),
+		opts:     opts.withDefaults(),
+		outs:     make(map[string]*sendQueue),
 		ins:      make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -60,6 +126,35 @@ func NewMessenger(network Network, addr string, handler func(*wire.Envelope)) (*
 
 // Addr returns the bound address.
 func (m *Messenger) Addr() string { return m.listener.Addr().String() }
+
+// Sent returns how many envelopes were written to the network.
+func (m *Messenger) Sent() uint64 { return m.sent.Load() }
+
+// Received returns how many envelopes were decoded from the network.
+func (m *Messenger) Received() uint64 { return m.received.Load() }
+
+// Dropped returns how many outgoing envelopes were abandoned: queue
+// overflow, suspect destinations and delivery failures.
+func (m *Messenger) Dropped() uint64 { return m.dropped.Load() }
+
+// Redials returns how many times a stale cached connection was re-dialed.
+func (m *Messenger) Redials() uint64 { return m.redials.Load() }
+
+// HandlerPanics returns how many handler invocations panicked (each is
+// contained to its envelope; the reader goroutine survives).
+func (m *Messenger) HandlerPanics() uint64 { return m.handlerPanics.Load() }
+
+// Suspect reports whether the destination is currently in backoff.
+func (m *Messenger) Suspect(to string) bool {
+	m.mu.Lock()
+	q, ok := m.outs[to]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	_, suspect := q.suspended()
+	return suspect
+}
 
 func (m *Messenger) acceptLoop() {
 	defer m.wg.Done()
@@ -97,72 +192,63 @@ func (m *Messenger) readLoop(conn net.Conn) {
 		}
 		m.mu.Lock()
 		closed := m.closed
-		if !closed {
-			m.Received++
-		}
 		m.mu.Unlock()
 		if closed {
 			return
 		}
+		m.received.Add(1)
 		if m.handler != nil {
-			m.handler(env)
+			m.invokeHandler(env)
 		}
 	}
 }
 
-// Send delivers env to the endpoint at to. The connection is cached; one
-// transparent re-dial covers a peer that restarted.
+// invokeHandler contains a handler panic to the envelope that caused it,
+// so one bad message cannot kill a reader goroutine.
+func (m *Messenger) invokeHandler(env *wire.Envelope) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.handlerPanics.Add(1)
+		}
+	}()
+	m.handler(env)
+}
+
+// Send enqueues env for asynchronous delivery to the endpoint at to.
+// It never blocks: a full queue returns ErrQueueFull and a destination
+// in failure backoff returns ErrPeerSuspect. A nil return means the
+// envelope was accepted for delivery, not that it arrived — transport is
+// best-effort, exactly like the lossy networks the paper assumes.
 func (m *Messenger) Send(to string, env *wire.Envelope) error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return ErrMessengerClosed
 	}
-	oc, ok := m.outs[to]
+	q, ok := m.outs[to]
 	if !ok {
-		oc = &outConn{}
-		m.outs[to] = oc
+		q = newSendQueue(m, to)
+		m.outs[to] = q
+		m.wg.Add(1)
+		go q.run()
 	}
 	m.mu.Unlock()
 
-	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	if oc.conn == nil {
-		if err := m.redial(to, oc); err != nil {
-			return err
-		}
+	if until, suspect := q.suspended(); suspect {
+		m.dropped.Add(1)
+		return fmt.Errorf("%w: %s for another %v", ErrPeerSuspect, to, time.Until(until).Round(time.Millisecond))
 	}
-	if err := oc.enc.Send(env); err != nil {
-		// Stale cached connection: re-dial once.
-		oc.conn.Close()
-		oc.conn = nil
-		if err := m.redial(to, oc); err != nil {
-			return err
-		}
-		if err := oc.enc.Send(env); err != nil {
-			oc.conn.Close()
-			oc.conn = nil
-			return fmt.Errorf("transport: send to %s: %w", to, err)
-		}
+	select {
+	case q.ch <- env:
+		return nil
+	default:
+		m.dropped.Add(1)
+		return fmt.Errorf("%w: %s", ErrQueueFull, to)
 	}
-	m.mu.Lock()
-	m.Sent++
-	m.mu.Unlock()
-	return nil
 }
 
-func (m *Messenger) redial(to string, oc *outConn) error {
-	conn, err := m.network.Dial(to)
-	if err != nil {
-		return fmt.Errorf("transport: dial %s: %w", to, err)
-	}
-	oc.conn = conn
-	oc.enc = wire.NewConn(conn)
-	return nil
-}
-
-// Close stops accepting, drops cached connections and waits for reader
-// goroutines to drain.
+// Close stops accepting, drops cached connections, terminates the send
+// workers and waits for every goroutine to drain.
 func (m *Messenger) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -170,8 +256,7 @@ func (m *Messenger) Close() error {
 		return nil
 	}
 	m.closed = true
-	outs := m.outs
-	m.outs = make(map[string]*outConn)
+	close(m.done)
 	ins := make([]net.Conn, 0, len(m.ins))
 	for c := range m.ins {
 		ins = append(ins, c)
@@ -184,14 +269,140 @@ func (m *Messenger) Close() error {
 	for _, c := range ins {
 		c.Close()
 	}
-	for _, oc := range outs {
-		oc.mu.Lock()
-		if oc.conn != nil {
-			oc.conn.Close()
-			oc.conn = nil
-		}
-		oc.mu.Unlock()
-	}
 	m.wg.Wait()
 	return nil
+}
+
+// sendQueue is one destination's bounded queue plus the single worker
+// goroutine that drains it. The worker owns conn; failure state is
+// shared with Send under qmu.
+type sendQueue struct {
+	m    *Messenger
+	addr string
+	ch   chan *wire.Envelope
+
+	qmu          sync.Mutex
+	failures     int
+	suspectUntil time.Time
+
+	conn net.Conn // worker-only
+}
+
+func newSendQueue(m *Messenger, addr string) *sendQueue {
+	return &sendQueue{m: m, addr: addr, ch: make(chan *wire.Envelope, m.opts.QueueSize)}
+}
+
+// suspended reports whether the destination is inside its backoff window.
+func (q *sendQueue) suspended() (time.Time, bool) {
+	q.qmu.Lock()
+	defer q.qmu.Unlock()
+	if q.suspectUntil.IsZero() || time.Now().After(q.suspectUntil) {
+		return time.Time{}, false
+	}
+	return q.suspectUntil, true
+}
+
+// fail records one delivery failure and arms the exponential backoff
+// once the consecutive-failure threshold is crossed.
+func (q *sendQueue) fail() {
+	q.qmu.Lock()
+	defer q.qmu.Unlock()
+	q.failures++
+	over := q.failures - q.m.opts.FailThreshold
+	if over < 0 {
+		return
+	}
+	backoff := q.m.opts.BackoffBase
+	for i := 0; i < over && backoff < q.m.opts.BackoffMax; i++ {
+		backoff *= 2
+	}
+	if backoff > q.m.opts.BackoffMax {
+		backoff = q.m.opts.BackoffMax
+	}
+	q.suspectUntil = time.Now().Add(backoff)
+}
+
+// succeed clears the failure state after a delivered envelope.
+func (q *sendQueue) succeed() {
+	q.qmu.Lock()
+	q.failures = 0
+	q.suspectUntil = time.Time{}
+	q.qmu.Unlock()
+}
+
+func (q *sendQueue) run() {
+	defer q.m.wg.Done()
+	defer func() {
+		if q.conn != nil {
+			q.conn.Close()
+			q.conn = nil
+		}
+	}()
+	for {
+		select {
+		case <-q.m.done:
+			return
+		case env := <-q.ch:
+			q.deliver(env)
+		}
+	}
+}
+
+// deliver writes one envelope, re-dialing a stale cached connection
+// once. Failures are counted; the envelope is dropped, never retried —
+// upper layers own retry policy.
+func (q *sendQueue) deliver(env *wire.Envelope) {
+	if _, suspect := q.suspended(); suspect {
+		// Enqueued before the destination went suspect; don't burn a
+		// dial timeout per queued message on a peer known to be bad.
+		q.m.dropped.Add(1)
+		return
+	}
+	frame, err := wire.EncodeEnvelope(env)
+	if err != nil {
+		q.m.dropped.Add(1)
+		return
+	}
+	if q.conn == nil {
+		conn, err := DialTimeout(q.m.network, q.addr, q.m.opts.DialTimeout)
+		if err != nil {
+			q.fail()
+			q.m.dropped.Add(1)
+			return
+		}
+		q.conn = conn
+	}
+	if err := q.write(frame); err != nil {
+		// Stale cached connection (peer restarted): re-dial once.
+		q.conn.Close()
+		q.conn = nil
+		q.m.redials.Add(1)
+		conn, derr := DialTimeout(q.m.network, q.addr, q.m.opts.DialTimeout)
+		if derr != nil {
+			q.fail()
+			q.m.dropped.Add(1)
+			return
+		}
+		q.conn = conn
+		if err := q.write(frame); err != nil {
+			q.conn.Close()
+			q.conn = nil
+			q.fail()
+			q.m.dropped.Add(1)
+			return
+		}
+	}
+	q.succeed()
+	q.m.sent.Add(1)
+}
+
+// write puts one whole frame on the wire under the write deadline. A
+// frame is a single Write call, so stream framing survives fault layers
+// that drop or delay at message granularity.
+func (q *sendQueue) write(frame []byte) error {
+	if wt := q.m.opts.WriteTimeout; wt > 0 {
+		q.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, err := q.conn.Write(frame)
+	return err
 }

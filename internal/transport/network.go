@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Network abstracts how endpoints listen and connect. Implementations
@@ -39,6 +40,51 @@ func (TCP) Listen(addr string) (net.Listener, error) {
 // Dial implements Network.
 func (TCP) Dial(addr string) (net.Conn, error) {
 	return net.Dial("tcp", addr)
+}
+
+// DeadlineDialer is implemented by networks that support bounded dials
+// natively; DialTimeout uses it when available.
+type DeadlineDialer interface {
+	DialDeadline(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// DialDeadline implements DeadlineDialer using the kernel's own timeout.
+func (TCP) DialDeadline(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// DialTimeout dials addr on any Network with an upper bound on how long
+// the caller waits. Networks that cannot be cancelled (a hung in-process
+// dial, a black-holed route) are dialed in a helper goroutine; when the
+// timeout fires first, the eventual connection — if one ever appears —
+// is closed and discarded.
+func DialTimeout(nw Network, addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		return nw.Dial(addr)
+	}
+	if d, ok := nw.(DeadlineDialer); ok {
+		return d.DialDeadline(addr, timeout)
+	}
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := nw.Dial(addr)
+		ch <- result{conn, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-time.After(timeout):
+		go func() {
+			if r := <-ch; r.conn != nil {
+				r.conn.Close()
+			}
+		}()
+		return nil, fmt.Errorf("transport: dial %s: timed out after %v", addr, timeout)
+	}
 }
 
 // InProc is an in-memory Network: listeners register in a shared hub and

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -112,14 +113,20 @@ func TestMessengerManyMessagesOrdered(t *testing.T) {
 				}
 			}
 			got := c.waitFor(t, n)
-			// Same connection: ordering must hold.
+			// Same destination queue: ordering must hold.
 			for i := 0; i < n; i++ {
 				if got[i].Hops != uint8(i) {
 					t.Fatalf("message %d has hops %d (reordered)", i, got[i].Hops)
 				}
 			}
-			if send.Sent != n {
-				t.Fatalf("Sent = %d", send.Sent)
+			// The sent counter trails the receiver's handler by one
+			// instant; poll rather than assert the instantaneous value.
+			deadline := time.Now().Add(2 * time.Second)
+			for send.Sent() != n && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if got := send.Sent(); got != n {
+				t.Fatalf("Sent = %d, want %d", got, n)
 			}
 		})
 	}
@@ -154,14 +161,39 @@ func TestMessengerBidirectional(t *testing.T) {
 }
 
 func TestMessengerDialFailure(t *testing.T) {
+	// Sends to an unreachable address are accepted (delivery is async)
+	// but fail in the worker; after FailThreshold consecutive failures
+	// the destination goes suspect and Send starts reporting it.
 	nw := NewInProc()
-	m, err := NewMessenger(nw, "solo", nil)
+	m, err := NewMessengerOpts(nw, "solo", nil, Options{
+		DialTimeout:   100 * time.Millisecond,
+		FailThreshold: 2,
+		BackoffBase:   5 * time.Second, // long enough to observe
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.Send("ghost", env(wire.KindAgent, "x")); err == nil {
-		t.Fatal("send to unknown address succeeded")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := m.Send("ghost", env(wire.KindAgent, "x"))
+		if errors.Is(err, ErrPeerSuspect) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected send error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("destination never went suspect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !m.Suspect("ghost") {
+		t.Fatal("Suspect() disagrees with Send")
+	}
+	if m.Dropped() == 0 {
+		t.Fatal("failed deliveries not counted as dropped")
 	}
 }
 
