@@ -1,14 +1,22 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz ci clean
+.PHONY: all build vet lint test race chaos fuzz ci clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant checks: bpvet enforces the transport/agent discipline
+# (see DESIGN.md "Enforced invariants"), and gofmt keeps the tree
+# canonically formatted.
+lint:
+	$(GO) run ./cmd/bpvet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -34,7 +42,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeResults -fuzztime $(FUZZTIME) ./internal/agent/
 	$(GO) test -run '^$$' -fuzz FuzzCompileFilter -fuzztime $(FUZZTIME) ./internal/agent/
 
-ci: build vet race fuzz
+ci: build vet lint race fuzz
 
 clean:
 	$(GO) clean -testcache

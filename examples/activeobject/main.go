@@ -98,7 +98,7 @@ func main() {
 			}
 		}
 		fmt.Println()
-		node.Close()
-		store.Close()
+		_ = node.Close()  // demo teardown; errors carry no lesson here
+		_ = store.Close() // demo teardown; errors carry no lesson here
 	}
 }

@@ -81,7 +81,7 @@ func main() {
 		log.Fatal(err)
 	}
 	before := r.Stats().TotalPages
-	r.Close()
+	_ = r.Close() // demo teardown; the compacted copy is what matters now
 
 	c, err := storm.Open(slim, storm.Options{PersistentCatalog: true, PersistentIndex: true})
 	if err != nil {

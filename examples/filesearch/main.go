@@ -84,7 +84,7 @@ func main() {
 	nodes := []*core.Node{alice, bob, carol, dave, erin}
 	defer func() {
 		for _, n := range nodes {
-			n.Close()
+			_ = n.Close() // demo teardown; errors carry no lesson here
 		}
 	}()
 
@@ -104,7 +104,7 @@ func main() {
 	// identity.
 	daveID := dave.ID()
 	daveStorePath := filepath.Join(dir, "dave.storm")
-	dave.Close()
+	_ = dave.Close() // dave is "disconnecting"; the error is irrelevant
 
 	store2, err := storm.Open(daveStorePath+"-2", storm.Options{})
 	if err != nil {

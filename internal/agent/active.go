@@ -117,7 +117,7 @@ func (f *LevelFilter) Render(obj *storm.Object, accessLevel int) ([]byte, bool) 
 		if out.Len() > 0 {
 			out.WriteByte('\n')
 		}
-		out.Write(rest)
+		_, _ = out.Write(rest) // bytes.Buffer writes cannot fail
 	}
 	return out.Bytes(), true
 }

@@ -128,6 +128,10 @@ type Node struct {
 	// Stats.
 	Relayed  uint64
 	Executed uint64
+	// SendsFailed counts envelopes the transport refused or dropped
+	// (unreachable, suspect or overloaded peers). The fan-out continues
+	// regardless; the counter makes the loss visible to benchmarks.
+	SendsFailed uint64
 }
 
 // NewNode starts a CS node.
@@ -146,6 +150,8 @@ func NewNode(cfg Config) (*Node, error) {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
+			// One poisoned work item must not kill the whole server loop.
+			defer func() { _ = recover() }()
 			for fn := range n.work {
 				fn()
 			}
@@ -304,7 +310,13 @@ func (n *Node) sendAnswer(to string, id wire.MsgID, a *answerMsg) {
 }
 
 func (n *Node) sendEnv(to string, env *wire.Envelope) {
-	_ = n.msgr.Send(to, env) // unreachable peers must not break the fan-out
+	if err := n.msgr.Send(to, env); err != nil {
+		// Unreachable peers must not break the fan-out, but the loss is
+		// counted so a benchmark run can tell lossless from lossy.
+		n.mu.Lock()
+		n.SendsFailed++
+		n.mu.Unlock()
+	}
 }
 
 // QueryOptions tunes a CS query.

@@ -160,7 +160,11 @@ type Servant struct {
 
 	// Stats.
 	HitsRouted uint64
-	Executed   uint64
+	// SendsFailed counts descriptors the transport refused or dropped
+	// (unreachable, suspect or overloaded peers) — flooding is best-effort
+	// and continues, but the loss stays visible to benchmarks.
+	SendsFailed uint64
+	Executed    uint64
 }
 
 // NewServant starts a servant.
@@ -364,7 +368,13 @@ func (s *Servant) deliverHit(env *wire.Envelope) {
 }
 
 func (s *Servant) send(to string, env *wire.Envelope) {
-	_ = s.msgr.Send(to, env)
+	if err := s.msgr.Send(to, env); err != nil {
+		// Flooding is best-effort: an unreachable peer never stalls the
+		// rest, but the drop is counted rather than silently swallowed.
+		s.mu.Lock()
+		s.SendsFailed++
+		s.mu.Unlock()
+	}
 }
 
 // QueryOptions tunes a query.

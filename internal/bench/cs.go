@@ -233,6 +233,3 @@ func RunCS(tp *topology.Topology, p Params, singleThread bool) RunResult {
 	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].At < res.Events[j].At })
 	return res
 }
-
-// silence unused-import guards if costs change shape later.
-var _ = time.Duration(0)

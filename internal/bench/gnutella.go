@@ -166,5 +166,3 @@ func RunGnutella(tp *topology.Topology, p Params, rounds int) []RunResult {
 	}
 	return out
 }
-
-var _ = time.Duration(0)

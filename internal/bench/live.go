@@ -58,6 +58,7 @@ func NewLiveCluster(tp *topology.Topology, spec *workload.Spec, query string, st
 			return nil, err
 		}
 		if err := spec.Populate(i, st); err != nil {
+			_ = st.Close() // already failing; the populate error wins
 			lc.Close()
 			return nil, err
 		}
@@ -70,7 +71,7 @@ func NewLiveCluster(tp *topology.Topology, spec *workload.Spec, query string, st
 			Strategy:   strategy,
 		})
 		if err != nil {
-			st.Close()
+			_ = st.Close() // already failing; the node error wins
 			lc.Close()
 			return nil, err
 		}
@@ -130,10 +131,10 @@ func (lc *LiveCluster) RunRound(timeout time.Duration) (LiveResult, error) {
 // Close shuts the cluster down and removes its on-disk state.
 func (lc *LiveCluster) Close() {
 	for _, n := range lc.nodes {
-		n.Close()
+		_ = n.Close() // teardown is best-effort; nothing to report to
 	}
 	for _, s := range lc.store {
-		s.Close()
+		_ = s.Close() // teardown is best-effort; the dir is removed anyway
 	}
 	os.RemoveAll(lc.dir)
 }

@@ -64,6 +64,7 @@ func (n *Node) QueryAndFetch(ag agent.Agent, opts QueryOptions) (*QueryResult, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer n.containPanic("fetch")
 			got, err := n.Fetch(addr, ph.names, timeout)
 			if err != nil {
 				return // peer vanished between hint and fetch
@@ -99,6 +100,7 @@ func (n *Node) StartMaintenance(interval, probeTimeout time.Duration) (stop func
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
+		defer n.containPanic("maintenance")
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
@@ -141,6 +143,7 @@ func (n *Node) SweepPeers(probeTimeout time.Duration) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer n.containPanic("sweep")
 			responsive[i] = n.Probe(p.Addr, probeTimeout)
 		}()
 	}

@@ -115,6 +115,9 @@ type Stats struct {
 	ClassesShipped    uint64
 	ClassesInstalled  uint64
 	Reconfigs         uint64
+	// ContainedPanics counts node-goroutine panics that were recovered
+	// instead of crashing the process; anything above zero is a bug.
+	ContainedPanics uint64
 }
 
 type pendingAgent struct {
@@ -329,6 +332,8 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	// Interrupts any LIGLO retry backoff so Close never waits one out.
+	_ = n.lgc.Close() // always returns nil
 	return n.msgr.Close()
 }
 
@@ -353,6 +358,15 @@ func (n *Node) bump(f func(*Stats)) {
 	n.mu.Lock()
 	f(&n.stats)
 	n.mu.Unlock()
+}
+
+// containPanic is deferred at the top of node goroutines so a panic in a
+// probe or fetch is logged and counted instead of killing the process.
+func (n *Node) containPanic(where string) {
+	if r := recover(); r != nil {
+		n.log.Error("panic contained", "where", where, "panic", r)
+		n.bump(func(s *Stats) { s.ContainedPanics++ })
+	}
 }
 
 // String describes the node.

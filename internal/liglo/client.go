@@ -3,11 +3,15 @@ package liglo
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"bestpeer/internal/transport"
 	"bestpeer/internal/wire"
 )
+
+// ErrClientClosed reports that Close interrupted a retry backoff.
+var ErrClientClosed = errors.New("liglo: client closed")
 
 // ClientOptions tunes the client's failure handling. The zero value
 // selects the defaults noted on each field.
@@ -65,6 +69,9 @@ func (o ClientOptions) backoff(round int) time.Duration {
 type Client struct {
 	network transport.Network
 	opts    ClientOptions
+
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 // NewClient returns a client that dials over the given network with
@@ -75,7 +82,28 @@ func NewClient(network transport.Network) *Client {
 
 // NewClientOpts returns a client with explicit failure-handling options.
 func NewClientOpts(network transport.Network, opts ClientOptions) *Client {
-	return &Client{network: network, opts: opts.withDefaults()}
+	return &Client{network: network, opts: opts.withDefaults(), stop: make(chan struct{})}
+}
+
+// Close interrupts any in-flight retry backoff; blocked RegisterAny and
+// Rejoin calls return promptly with ErrClientClosed joined to the last
+// transport error. Close is idempotent and safe for concurrent use.
+func (c *Client) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	return nil
+}
+
+// sleep waits out one backoff round, returning false when Close
+// interrupted the wait.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.stop:
+		return false
+	}
 }
 
 // call performs one request/response exchange with a server, bounded by
@@ -153,7 +181,9 @@ func (c *Client) RegisterAny(servers []string, myAddr string) (wire.BPID, []Peer
 		if allFull || round >= c.opts.Retries {
 			return wire.BPID{}, nil, lastErr
 		}
-		time.Sleep(c.opts.backoff(round))
+		if !c.sleep(c.opts.backoff(round)) {
+			return wire.BPID{}, nil, errors.Join(ErrClientClosed, lastErr)
+		}
 	}
 }
 
@@ -171,7 +201,9 @@ func (c *Client) Rejoin(id wire.BPID, myAddr string) error {
 		if round >= c.opts.Retries {
 			return lastErr
 		}
-		time.Sleep(c.opts.backoff(round))
+		if !c.sleep(c.opts.backoff(round)) {
+			return errors.Join(ErrClientClosed, lastErr)
+		}
 	}
 }
 

@@ -58,6 +58,19 @@ type Server struct {
 	Lookups   uint64
 	Rejected  uint64
 	Expired   uint64
+	// Panics counts goroutine panics contained by the server; anything
+	// above zero is a bug worth a look, but it never kills the process.
+	Panics uint64
+}
+
+// contain is deferred at the top of every server goroutine so a panic is
+// recorded instead of taking the whole process down.
+func (s *Server) contain() {
+	if r := recover(); r != nil {
+		s.mu.Lock()
+		s.Panics++
+		s.mu.Unlock()
+	}
 }
 
 // NewServer binds addr on the network and starts serving. The bound
@@ -99,6 +112,7 @@ func (s *Server) Members() int {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	defer s.contain()
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
@@ -107,6 +121,7 @@ func (s *Server) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.contain()
 			s.handleConn(conn)
 		}()
 	}
@@ -274,6 +289,7 @@ func (s *Server) handlePeers(r *peersReq) *wire.Envelope {
 // obliged to announce disconnection, so LIGLO checks for itself.
 func (s *Server) probeLoop() {
 	defer s.wg.Done()
+	defer s.contain()
 	ticker := time.NewTicker(s.cfg.ProbeInterval)
 	defer ticker.Stop()
 	for {
@@ -304,7 +320,7 @@ func (s *Server) CheckNow() int {
 	for _, t := range targets {
 		conn, err := s.network.Dial(t.addr)
 		if err == nil {
-			conn.Close()
+			_ = conn.Close() // liveness probe: the dial succeeding is the signal
 			alive[t.node] = true
 		}
 	}
@@ -353,7 +369,8 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.stopProbe)
-	s.listener.Close()
+	// Unblocks the accept loop; its own error is the shutdown signal.
+	_ = s.listener.Close()
 	s.wg.Wait()
 	return nil
 }

@@ -53,7 +53,7 @@ func CreateFile(path string) (*DiskFile, error) {
 	}
 	df := &DiskFile{f: f, pages: 1}
 	if err := df.writeHeader(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; header error is what matters
 		os.Remove(path)
 		return nil, err
 	}
@@ -68,15 +68,15 @@ func OpenFile(path string) (*DiskFile, error) {
 	}
 	var hdr [PageSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the read error is what matters
 		return nil, fmt.Errorf("storm: read header: %w", err)
 	}
 	if string(hdr[0:4]) != fileMagic {
-		f.Close()
+		_ = f.Close() // already failing; bad magic is what matters
 		return nil, ErrBadMagic
 	}
 	if v := binary.BigEndian.Uint16(hdr[4:6]); v != formatVersion {
-		f.Close()
+		_ = f.Close() // already failing; bad version is what matters
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	pages := binary.BigEndian.Uint32(hdr[6:10])

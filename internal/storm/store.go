@@ -116,12 +116,12 @@ func Open(path string, opts Options) (*Store, error) {
 		}
 	}
 	if err := s.rebuildCatalog(!fromTree); err != nil {
-		file.Close()
+		_ = file.Close() // already failing; the open error is what matters
 		return nil, err
 	}
 	if opts.PersistentCatalog && s.catalog == nil {
 		if err := s.buildCatalogTree(); err != nil {
-			file.Close()
+			_ = file.Close() // already failing; the open error is what matters
 			return nil, err
 		}
 	}
@@ -129,14 +129,14 @@ func Open(path string, opts Options) (*Store, error) {
 	if opts.WALPath != "" {
 		wal, err := OpenWAL(opts.WALPath, opts.WALSync)
 		if err != nil {
-			file.Close()
+			_ = file.Close() // already failing; the open error is what matters
 			return nil, err
 		}
 		s.wal = wal
 		replayed, err = s.recover()
 		if err != nil {
-			wal.Close()
-			file.Close()
+			_ = wal.Close()  // already failing; the recovery error is what matters
+			_ = file.Close() // already failing; the open error is what matters
 			return nil, err
 		}
 	}
@@ -145,7 +145,7 @@ func Open(path string, opts Options) (*Store, error) {
 		// the previous session crashed, and index pages regressed
 		// independently of the heap, so only a rebuild is trustworthy.
 		if err := s.loadPersistentIndexAfterRecovery(replayed > 0); err != nil {
-			file.Close()
+			_ = file.Close() // already failing; the open error is what matters
 			return nil, err
 		}
 	}
@@ -650,17 +650,17 @@ func (s *Store) Sync() error {
 func (s *Store) Close() error {
 	if s.wal != nil {
 		if err := s.Checkpoint(); err != nil {
-			s.wal.Close()
-			s.file.Close()
+			_ = s.wal.Close()  // already failing; the checkpoint error wins
+			_ = s.file.Close() // already failing; the checkpoint error wins
 			return err
 		}
 		if err := s.wal.Close(); err != nil {
-			s.file.Close()
+			_ = s.file.Close() // already failing; the WAL close error wins
 			return err
 		}
 	}
 	if err := s.pool.FlushAll(); err != nil {
-		s.file.Close()
+		_ = s.file.Close() // already failing; the flush error wins
 		return err
 	}
 	return s.file.Close()
@@ -735,7 +735,7 @@ func (s *Store) CompactTo(path string, opts Options) error {
 		putErr = scanErr
 	}
 	if putErr != nil {
-		dst.Close()
+		_ = dst.Close() // already failing; the copy error wins
 		return putErr
 	}
 	return dst.Close()
@@ -748,7 +748,7 @@ func (s *Store) CompactTo(path string, opts Options) error {
 // demonstrations; real shutdown is Close.
 func (s *Store) Abandon() {
 	if s.wal != nil {
-		s.wal.Close()
+		_ = s.wal.Close() // crash simulation discards errors by design
 	}
-	s.file.Close()
+	_ = s.file.Close() // crash simulation discards errors by design
 }

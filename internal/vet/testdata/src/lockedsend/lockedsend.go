@@ -1,0 +1,60 @@
+// Package lockedsend is a bpvet golden-test fixture.
+package lockedsend
+
+import (
+	"net"
+	"sync"
+)
+
+type Messenger struct{}
+
+func (Messenger) Send(to string, b []byte) error { return nil }
+
+type node struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	msgr Messenger
+}
+
+func (n *node) badHold() {
+	n.mu.Lock()
+	n.msgr.Send("a", nil) // want `call to n\.msgr\.Send while n\.mu is locked`
+	n.mu.Unlock()
+}
+
+func (n *node) badDeferUnlock() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.msgr.Send("a", nil) // want `call to n\.msgr\.Send while n\.mu is locked`
+}
+
+func (n *node) badReadLock() {
+	n.rw.RLock()
+	n.msgr.Send("a", nil) // want `call to n\.msgr\.Send while n\.rw is locked`
+	n.rw.RUnlock()
+}
+
+func (n *node) badConnWrite(c net.Conn, frame []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c.Write(frame) // want `call to c\.Write while n\.mu is locked`
+}
+
+func (n *node) goodUnlockFirst() error {
+	n.mu.Lock()
+	n.mu.Unlock()
+	return n.msgr.Send("a", nil)
+}
+
+func (n *node) goodNoLock() error {
+	return n.msgr.Send("a", nil)
+}
+
+// Nested function literals are independent scopes: the literal does not
+// inherit the outer lock state.
+func (n *node) goodLiteralScope() func() {
+	n.mu.Lock()
+	f := func() { n.msgr.Send("a", nil) }
+	n.mu.Unlock()
+	return f
+}

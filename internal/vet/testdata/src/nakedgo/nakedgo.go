@@ -1,0 +1,57 @@
+// Package nakedgo is a bpvet golden-test fixture.
+package nakedgo
+
+import "fmt"
+
+func badLiteral() {
+	go func() {}() // want `goroutine body has no deferred recover`
+}
+
+func goodLiteral() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				return
+			}
+		}()
+	}()
+}
+
+func worker() {}
+
+func badNamed() {
+	go worker() // want `goroutine worker has no deferred recover`
+}
+
+func contain() { _ = recover() }
+
+func safeWorker() {
+	defer contain()
+}
+
+func goodNamed() {
+	go safeWorker()
+}
+
+type box struct{}
+
+func (box) loop() {
+	defer func() { _ = recover() }()
+}
+
+func goodMethod(b box) {
+	go b.loop()
+}
+
+func badUnresolvable() {
+	go fmt.Println("hi") // want `cannot verify panic containment of fmt\.Println`
+}
+
+// A recover hidden inside a nested literal does not protect the
+// goroutine's own frame.
+func badNestedRecover() {
+	go func() { // want `goroutine body has no deferred recover`
+		f := func() { _ = recover() }
+		f()
+	}()
+}

@@ -1,0 +1,30 @@
+// Package suppress is a bpvet fixture: every violation here carries a
+// //bpvet:ignore comment, so the full suite must report nothing.
+package suppress
+
+import "time"
+
+func lineAbove() {
+	for {
+		//bpvet:ignore busypoll fixture exercises the line-above form
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func trailing() {
+	for {
+		time.Sleep(time.Millisecond) //bpvet:ignore busypoll fixture exercises the trailing form
+	}
+}
+
+func spawn() {
+	go func() {}() //bpvet:ignore nakedgo fixture: empty body cannot panic
+}
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+func drop(c conn) {
+	c.Close() //bpvet:ignore droppederr fixture: result intentionally unchecked
+}

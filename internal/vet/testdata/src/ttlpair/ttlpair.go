@@ -1,0 +1,46 @@
+// Package ttlpair is a bpvet golden-test fixture.
+package ttlpair
+
+type envelope struct {
+	TTL  uint8
+	Hops uint8
+}
+
+type plain struct {
+	TTL uint8
+}
+
+func badDecrement(e *envelope) {
+	e.TTL-- // want `TTL decremented but Hops never updated or checked`
+}
+
+func badSubAssign(e *envelope) {
+	e.TTL -= 1 // want `TTL decremented but Hops never updated or checked`
+}
+
+func badExplicit(e *envelope) {
+	e.TTL = e.TTL - 1 // want `TTL decremented but Hops never updated or checked`
+}
+
+func goodPaired(e *envelope) {
+	e.TTL--
+	e.Hops++
+}
+
+func goodChecked(e *envelope) bool {
+	if e.Hops > 7 {
+		return false
+	}
+	e.TTL--
+	return true
+}
+
+// No Hops field on the struct: the paired-counter rule does not apply.
+func goodUnpaired(p *plain) {
+	p.TTL--
+}
+
+// Construction is not forwarding.
+func goodConstruct() envelope {
+	return envelope{TTL: 7}
+}

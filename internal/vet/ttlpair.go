@@ -1,0 +1,103 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ttlpair enforces the paper's redundant-counter rule (§3.1): TTL and
+// Hops are maintained together — TTL decremented, Hops incremented — at
+// every forwarding step, and jointly let a host drop agents it has
+// already seen or that have expired. Forwarding code that decrements a
+// TTL field on a struct that also carries a Hops field, without touching
+// or checking Hops in the same function, breaks the pairing.
+type ttlpair struct{}
+
+func (ttlpair) Name() string { return "ttlpair" }
+func (ttlpair) Doc() string {
+	return "TTL decremented without the paired Hops update/check (paper §3.1 redundant counters)"
+}
+
+func (ttlpair) Run(p *Pass) {
+	for _, file := range p.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			runTTLPair(p, body)
+		})
+	}
+}
+
+func runTTLPair(p *Pass, body *ast.BlockStmt) {
+	var decrements []token.Pos
+	touchesHops := false
+	inspectSameFunc(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			if s.Tok == token.DEC && isPairedTTLField(p, s.X) {
+				decrements = append(decrements, s.Pos())
+			}
+		case *ast.AssignStmt:
+			if (s.Tok == token.SUB_ASSIGN || s.Tok == token.ASSIGN) && len(s.Lhs) == len(s.Rhs) {
+				for i, lhs := range s.Lhs {
+					if !isPairedTTLField(p, lhs) {
+						continue
+					}
+					if s.Tok == token.SUB_ASSIGN || containsSub(s.Rhs[i]) {
+						decrements = append(decrements, s.Pos())
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if s.Sel.Name == "Hops" {
+				touchesHops = true
+			}
+		}
+		return true
+	})
+	if touchesHops {
+		return
+	}
+	for _, pos := range decrements {
+		p.Reportf(pos, "TTL decremented but Hops never updated or checked in this function; the counters are redundant by design")
+	}
+}
+
+// isPairedTTLField reports whether e selects a field named TTL on a
+// struct that also declares a Hops field — the envelope shape the rule
+// is about.
+func isPairedTTLField(p *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "TTL" {
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	st, ok := deref(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasTTL, hasHops := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "TTL":
+			hasTTL = true
+		case "Hops":
+			hasHops = true
+		}
+	}
+	return hasTTL && hasHops
+}
+
+// containsSub reports whether the expression contains a subtraction.
+func containsSub(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.SUB {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,287 @@
+// Package vet is bpvet's engine: a small, dependency-free static
+// analysis framework plus the project-specific analyzers that
+// mechanically enforce the transport/agent discipline established in the
+// hardening work (DESIGN.md §5, §6).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis in
+// miniature — an Analyzer interface, a Pass carrying one type-checked
+// package, and Diagnostics keyed by position — but is built exclusively
+// on the standard library (go/ast, go/parser, go/types, go/importer) so
+// go.mod stays dependency-free.
+//
+// Findings can be suppressed with a comment on the offending line or the
+// line directly above it:
+//
+//	//bpvet:ignore <analyzer> [<analyzer>...] rationale...
+//
+// The rationale is free text; listing the analyzer names is mandatory so
+// a suppression never outlives the rule it silences.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the driver's canonical "file:line: [name] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	PkgPath string
+	Pkg     *types.Package
+	Info    *types.Info
+
+	analyzer string
+	out      *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Analyzer is one invariant checker.
+type Analyzer interface {
+	// Name is the short identifier used in output and in
+	// //bpvet:ignore comments.
+	Name() string
+	// Doc is a one-line description of the enforced rule.
+	Doc() string
+	// Run inspects one package and reports findings on the pass.
+	Run(p *Pass)
+}
+
+// All returns the full bpvet analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		lockedsend{},
+		nakedgo{},
+		blockingsend{},
+		busypoll{},
+		droppederr{},
+		ttlpair{},
+	}
+}
+
+// Run applies the analyzers to every package, filters suppressed
+// findings, and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a.Name(),
+				out:      &diags,
+			}
+			a.Run(pass)
+		}
+		diags = filterSuppressed(pkg, diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// filterSuppressed drops findings in pkg's files that a //bpvet:ignore
+// comment on the same or the preceding line covers. Findings from other
+// packages pass through untouched.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file -> line -> suppressed analyzer names.
+	suppressed := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseIgnore(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := suppressed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					suppressed[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	if len(suppressed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		byLine := suppressed[d.Pos.Filename]
+		if byLine[d.Pos.Line][d.Analyzer] || byLine[d.Pos.Line-1][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// parseIgnore extracts analyzer names from a //bpvet:ignore comment.
+// Names are the leading whitespace-separated tokens (trailing commas
+// tolerated); everything after the first non-name token is rationale.
+func parseIgnore(comment string) []string {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "bpvet:ignore")
+	if !ok {
+		return nil
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name()] = true
+	}
+	var names []string
+	for _, tok := range strings.Fields(rest) {
+		tok = strings.TrimRight(tok, ",:")
+		if !known[tok] {
+			break
+		}
+		names = append(names, tok)
+	}
+	return names
+}
+
+// --- shared AST helpers used by several analyzers ---
+
+// walkStack traverses root in source order, calling fn with every node
+// and the stack of its ancestors (outermost first, not including n).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — paired with a printable name. Each body is yielded once;
+// analyzers that treat function scopes independently should skip nested
+// FuncLit subtrees themselves when walking a body.
+func funcBodies(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Name.Name, d.Body)
+			}
+		case *ast.FuncLit:
+			fn("func literal", d.Body)
+		}
+		return true
+	})
+}
+
+// inspectSameFunc walks body but does not descend into nested function
+// literals, so findings stay scoped to one function.
+func inspectSameFunc(body ast.Node, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != body {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// errorType reports whether t is the built-in error interface.
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorIface)
+}
+
+// deref removes one level of pointer indirection.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedFrom returns the named type behind t (after deref), or nil.
+func namedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// isPkgType reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// containsRecover reports whether the body calls the recover builtin
+// directly (not inside a nested function literal).
+func containsRecover(info *types.Info, body ast.Node) bool {
+	found := false
+	inspectSameFunc(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin || info.Uses[id] == nil {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
