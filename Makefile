@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos fuzz ci clean
+.PHONY: all build vet lint test race chaos fuzz cover adminsmoke ci clean
 
 all: build vet lint test
 
@@ -42,7 +42,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeResults -fuzztime $(FUZZTIME) ./internal/agent/
 	$(GO) test -run '^$$' -fuzz FuzzCompileFilter -fuzztime $(FUZZTIME) ./internal/agent/
 
-ci: build vet lint race fuzz
+# Coverage profile across every package, suitable for `go tool cover`
+# and for upload as a CI artifact.
+COVERPROFILE ?= coverage.out
+cover:
+	$(GO) test -covermode=atomic -coverprofile=$(COVERPROFILE) ./...
+	@$(GO) tool cover -func=$(COVERPROFILE) | tail -1
+
+# End-to-end smoke of the node admin endpoint: boots the daemon stack
+# with -admin semantics and scrapes /metrics, /healthz and a query
+# trace over real HTTP.
+adminsmoke:
+	$(GO) test -race -count=1 -run 'TestAdminEndpointSmoke' ./cmd/bestpeer/
+
+ci: build vet lint race fuzz adminsmoke cover
 
 clean:
 	$(GO) clean -testcache

@@ -6,6 +6,7 @@
 //
 //	bestpeer -store data.storm [-addr host:port] [-liglo a:1,b:2]
 //	         [-peers 5] [-strategy maxcount|minhops|static] [-ttl 7]
+//	         [-admin 127.0.0.1:9090]
 //
 // Shell commands:
 //
@@ -18,6 +19,7 @@
 //	ls                     list local objects
 //	peers                  show direct peers
 //	stats                  show node counters
+//	trace [id]             list recent query traces, or show one hop tree
 //	rejoin                 refresh addresses through LIGLO
 //	help                   this list
 //	quit                   exit
@@ -34,9 +36,11 @@ import (
 
 	"bestpeer/internal/agent"
 	"bestpeer/internal/core"
+	"bestpeer/internal/obs"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/storm"
 	"bestpeer/internal/transport"
+	"bestpeer/internal/wire"
 )
 
 func main() {
@@ -53,6 +57,7 @@ func main() {
 	index := flag.Bool("index", false, "maintain a persistent inverted keyword index")
 	wal := flag.String("wal", "", "write-ahead log path (empty disables)")
 	walSync := flag.Bool("wal-sync", false, "fsync the WAL on every operation")
+	admin := flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /queries, pprof) on this address; ':port' binds loopback only; empty disables")
 	flag.Parse()
 
 	store, err := storm.Open(*storePath, storm.Options{
@@ -84,6 +89,14 @@ func main() {
 
 	fmt.Printf("bestpeer: listening on %s, store %s (%d objects), strategy %s\n",
 		node.Addr(), *storePath, store.Len(), node.Strategy().Name())
+
+	if *admin != "" {
+		srv, err := node.ServeAdmin(*admin)
+		if err != nil {
+			log.Fatalf("bestpeer: admin endpoint: %v", err)
+		}
+		fmt.Printf("bestpeer: admin endpoint on http://%s/metrics\n", srv.Addr())
+	}
 
 	if *ligloList != "" {
 		servers := strings.Split(*ligloList, ",")
@@ -118,7 +131,7 @@ func dispatch(node *core.Node, store *storm.Store, line string) bool {
 	case "quit", "exit":
 		return false
 	case "help":
-		fmt.Println("query filter digest hints put get ls peers stats rejoin quit")
+		fmt.Println("query filter digest hints put get ls peers stats trace rejoin quit")
 	case "query":
 		runQuery(node, &agent.KeywordAgent{Query: strings.Join(args, " ")}, 1)
 	case "digest":
@@ -163,6 +176,8 @@ func dispatch(node *core.Node, store *storm.Store, line string) bool {
 			s.AnswersSent, s.Reconfigs)
 		fmt.Printf("  pool: policy=%s hitrate=%.2f\n",
 			store.Pool().Policy(), store.Pool().HitRate())
+	case "trace":
+		runTrace(node, args)
 	case "rejoin":
 		if err := node.Rejoin(); err != nil {
 			fmt.Println("error:", err)
@@ -183,8 +198,46 @@ func runQuery(node *core.Node, ag agent.Agent, mode uint8) {
 		fmt.Printf("  %-30s from %s (hops %d, %dB, %v)\n",
 			a.Result.Name, a.PeerAddr, a.Hops, len(a.Result.Data), a.At.Round(time.Millisecond))
 	}
-	fmt.Printf("  %d answers in %v (reconfigured=%v)\n",
-		len(res.Answers), res.Elapsed.Round(time.Millisecond), res.Reconfigured)
+	fmt.Printf("  %d answers in %v (reconfigured=%v, trace %v)\n",
+		len(res.Answers), res.Elapsed.Round(time.Millisecond), res.Reconfigured, res.ID)
+}
+
+// runTrace lists recent query traces, or renders one trace's hop tree.
+func runTrace(node *core.Node, args []string) {
+	if len(args) == 0 {
+		for _, t := range node.RecentTraces(10) {
+			fmt.Printf("  %v  %d spans, max hop %d\n", t.ID, len(t.Spans), t.MaxHop())
+		}
+		return
+	}
+	id, err := wire.ParseMsgID(args[0])
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	t, ok := node.Trace(id)
+	if !ok {
+		fmt.Println("no trace for", args[0], "(evicted, or issued elsewhere)")
+		return
+	}
+	for _, root := range t.Tree() {
+		printSpanTree(root, "  ")
+	}
+}
+
+func printSpanTree(n *obs.SpanNode, indent string) {
+	s := n.Span
+	if s.Drop != "" {
+		fmt.Printf("%s%s hop %d dropped (%s)\n", indent, s.Peer, s.Hop, s.Drop)
+	} else {
+		fmt.Printf("%s%s hop %d: %d matches, wait %v, exec %v, fan-out %d\n",
+			indent, s.Peer, s.Hop, s.Matches,
+			time.Duration(s.WaitNS).Round(time.Microsecond),
+			time.Duration(s.ExecNS).Round(time.Microsecond), s.FanOut)
+	}
+	for _, c := range n.Children {
+		printSpanTree(c, indent+"  ")
+	}
 }
 
 func runHints(node *core.Node, query string) {

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|5a|5b|5c|6|7|8a|8b|ablations] [-seed N]
+//	bpbench [-fig all|5a|5b|5c|6|7|8a|8b|ablations] [-seed N] [-live] [-json FILE]
+//
+// With -json the same data is also written as a machine-readable report;
+// live runs include a metrics section snapshotted from the node
+// registries (messages sent/dropped, answer-hop histogram).
 package main
 
 import (
@@ -24,7 +28,7 @@ import (
 // real stack (in-process transport, real storage engine, real agents)
 // instead of the simulator, printing per-round wall-clock completions
 // for the static and reconfigurable nodes.
-func runLive(seed int64) {
+func runLive(seed int64, report *bench.Report) {
 	spec := &workload.Spec{ObjectsPerNode: 100, ObjectSize: 512, Vocabulary: 10, Seed: seed}
 	query := spec.Keyword(3)
 	const n, rounds = 8, 3
@@ -40,6 +44,7 @@ func runLive(seed int64) {
 			log.Fatalf("bpbench: live cluster: %v", err)
 		}
 		fmt.Printf("  %-10s", strat.Name())
+		run := &bench.SchemeRun{Scheme: strat.Name()}
 		var last bench.LiveResult
 		for r := 0; r < rounds; r++ {
 			res, err := lc.RunRound(10 * time.Second)
@@ -47,9 +52,12 @@ func runLive(seed int64) {
 				log.Fatalf("bpbench: live round: %v", err)
 			}
 			fmt.Printf("  %10.2f", float64(res.Completion)/float64(time.Millisecond))
+			run.AddRound(res)
 			last = res
 		}
 		fmt.Printf("  %7d  %13d\n", last.TotalAnswers, last.MaxHops)
+		run.Metrics = lc.Metrics()
+		report.Live = append(report.Live, run)
 		lc.Close()
 	}
 }
@@ -58,10 +66,15 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: all, 5a, 5b, 5c, 6, 7, 8a, 8b, ablations")
 	seed := flag.Int64("seed", 1, "workload seed")
 	live := flag.Bool("live", false, "also run a miniature live-stack comparison")
+	jsonPath := flag.String("json", "", "also write a machine-readable report (e.g. BENCH_1.json)")
 	flag.Parse()
 
 	cost := bench.DefaultCost()
-	run := func(f *bench.Figure) { f.Render(os.Stdout) }
+	report := &bench.Report{Seed: *seed}
+	run := func(f *bench.Figure) {
+		f.Render(os.Stdout)
+		report.Figures = append(report.Figures, f)
+	}
 
 	switch *fig {
 	case "all":
@@ -97,6 +110,12 @@ func main() {
 	}
 
 	if *live {
-		runLive(*seed)
+		runLive(*seed, report)
+	}
+	if *jsonPath != "" {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			log.Fatalf("bpbench: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Report is bpbench's machine-readable output (the BENCH_*.json file):
+// the simulated figures plus, when a live run was requested, one entry
+// per scheme with its rounds and a metrics section snapshotted from the
+// cluster's obs registries.
+type Report struct {
+	Seed    int64        `json:"seed"`
+	Figures []*Figure    `json:"figures,omitempty"`
+	Live    []*SchemeRun `json:"live,omitempty"`
+}
+
+// SchemeRun is one strategy's live-stack run.
+type SchemeRun struct {
+	Scheme  string      `json:"scheme"`
+	Rounds  []RoundStat `json:"rounds"`
+	Metrics LiveMetrics `json:"metrics"`
+}
+
+// RoundStat is one query round of a live run.
+type RoundStat struct {
+	CompletionMS    float64 `json:"completion_ms"`
+	Answers         int     `json:"answers"`
+	MaxHops         int     `json:"max_hops"`
+	AgentsForwarded uint64  `json:"agents_forwarded"`
+}
+
+// AddRound appends a live round result to the scheme run.
+func (sr *SchemeRun) AddRound(res LiveResult) {
+	sr.Rounds = append(sr.Rounds, RoundStat{
+		CompletionMS:    float64(res.Completion) / float64(time.Millisecond),
+		Answers:         res.TotalAnswers,
+		MaxHops:         res.MaxHops,
+		AgentsForwarded: res.AgentsForwarded,
+	})
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding report: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

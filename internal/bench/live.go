@@ -8,6 +8,7 @@ import (
 
 	"bestpeer/internal/agent"
 	"bestpeer/internal/core"
+	"bestpeer/internal/obs"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/storm"
 	"bestpeer/internal/topology"
@@ -126,6 +127,50 @@ func (lc *LiveCluster) RunRound(timeout time.Duration) (LiveResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// LiveMetrics is the observability section of one scheme's live run:
+// network-wide message and agent counters summed over every node's
+// registry, the base's answer-hop histogram, and the base's full registry
+// snapshot for anything the headline numbers leave out.
+type LiveMetrics struct {
+	MessagesSent    uint64               `json:"messages_sent"`
+	MessagesDropped uint64               `json:"messages_dropped"`
+	AgentsExecuted  uint64               `json:"agents_executed"`
+	AgentsForwarded uint64               `json:"agents_forwarded"`
+	AnswerHops      []obs.BucketSnapshot `json:"answer_hops,omitempty"`
+	Base            *obs.Snapshot        `json:"base_registry,omitempty"`
+}
+
+// sumFamily adds up every labeled instance of the named family.
+func sumFamily(s *obs.Snapshot, name string) uint64 {
+	f := s.Family(name)
+	if f == nil {
+		return 0
+	}
+	total := uint64(0)
+	for _, m := range f.Metrics {
+		total += uint64(m.Value)
+	}
+	return total
+}
+
+// Metrics snapshots the cluster's registries into the report section.
+func (lc *LiveCluster) Metrics() LiveMetrics {
+	var out LiveMetrics
+	for _, n := range lc.nodes {
+		snap := n.Metrics().Snapshot()
+		out.MessagesSent += sumFamily(snap, "bestpeer_transport_messages_sent_total")
+		out.MessagesDropped += sumFamily(snap, "bestpeer_transport_messages_dropped_total")
+		out.AgentsExecuted += sumFamily(snap, "bestpeer_node_agents_executed_total")
+		out.AgentsForwarded += sumFamily(snap, "bestpeer_node_agents_forwarded_total")
+	}
+	base := lc.Base().Metrics().Snapshot()
+	if f := base.Family("bestpeer_node_answer_hops"); f != nil && len(f.Metrics) > 0 {
+		out.AnswerHops = f.Metrics[0].Buckets
+	}
+	out.Base = base
+	return out
 }
 
 // Close shuts the cluster down and removes its on-disk state.

@@ -7,6 +7,7 @@ import (
 
 	"bestpeer/internal/agent"
 	"bestpeer/internal/liglo"
+	"bestpeer/internal/obs"
 	"bestpeer/internal/storm"
 	"bestpeer/internal/topology"
 	"bestpeer/internal/transport"
@@ -188,6 +189,135 @@ func TestChaosPartitionHealsViaSweepAndReplenish(t *testing.T) {
 	}
 	if !foundFar {
 		t.Fatalf("no answers from the healed half; answers=%v", collectNames(res.Answers))
+	}
+}
+
+// TestChaosPartitionMetricsAccountForLoss checks the observability story
+// under faults: when a partition eats half the network mid-query, the
+// loss is visible in the metrics — the fabric counts refused dials, the
+// transport counts dropped sends, and the base's query trace contains
+// spans only from the reachable half, with duplicate-drop spans agreeing
+// with the nodes' drop-reason counters.
+func TestChaosPartitionMetricsAccountForLoss(t *testing.T) {
+	const n = 6
+	fabReg := obs.NewRegistry()
+	fab := faultnet.NewWithRegistry(transport.NewInProc(), 5, fabReg)
+	c := newCluster(t, n, func(i int, cfg *Config) {
+		cfg.Network = fab.Host(cfg.ListenAddr)
+		cfg.Transport = chaosTransport()
+		cfg.Liglo = chaosLiglo()
+	}, func(i int, s *storm.Store) {
+		s.Put(&storm.Object{
+			Name:     fmt.Sprintf("acct-%d", i),
+			Keywords: []string{"acct"},
+			Data:     []byte{byte(i)},
+		})
+	})
+	// Full mesh, then cut it in half.
+	var halfA, halfB []string
+	for i, node := range c.nodes {
+		var peers []Peer
+		for j := range c.nodes {
+			if j != i {
+				peers = append(peers, Peer{Addr: c.nodes[j].Addr()})
+			}
+		}
+		node.SetPeers(peers)
+		if i < n/2 {
+			halfA = append(halfA, node.Addr())
+		} else {
+			halfB = append(halfB, node.Addr())
+		}
+	}
+	fab.Partition(halfA, halfB)
+
+	base := c.nodes[0]
+	res, err := base.Query(&agent.KeywordAgent{Query: "acct"}, QueryOptions{
+		Timeout:       1500 * time.Millisecond,
+		NoReconfigure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := make(map[string]bool, len(halfB))
+	for _, b := range halfB {
+		far[b] = true
+	}
+	for _, a := range res.Answers {
+		if far[a.PeerAddr] {
+			t.Fatalf("answer from %s crossed a live partition", a.PeerAddr)
+		}
+	}
+	if len(res.Answers) != n/2 {
+		t.Fatalf("answers = %d, want %d (the reachable half)", len(res.Answers), n/2)
+	}
+
+	// The fabric's registry accounts for every refused dial it reported.
+	fs := fab.Stats()
+	if fs.DialsRefused == 0 {
+		t.Fatal("partition refused no dials; the query never hit the cut")
+	}
+	snap := fabReg.Snapshot()
+	if got := snap.Value("bestpeer_faultnet_dials_refused_total"); got != float64(fs.DialsRefused) {
+		t.Fatalf("faultnet metric dials_refused = %v, stats say %d", got, fs.DialsRefused)
+	}
+	if got := snap.Value("bestpeer_faultnet_messages_dropped_total"); got != float64(fs.MessagesDropped) {
+		t.Fatalf("faultnet metric messages_dropped = %v, stats say %d", got, fs.MessagesDropped)
+	}
+
+	// Sends into the far half died at the transport layer, and each
+	// reachable node's registry accounts for its messenger's drop count.
+	droppedTotal := uint64(0)
+	for i := 0; i < n/2; i++ {
+		node := c.nodes[i]
+		dropped := uint64(0)
+		if f := node.Metrics().Snapshot().Family("bestpeer_transport_messages_dropped_total"); f != nil {
+			for _, m := range f.Metrics {
+				dropped += uint64(m.Value)
+			}
+		}
+		if got := node.MessengerStats().Dropped; got != dropped {
+			t.Fatalf("node %d transport drops: metric %d != stats %d", i, dropped, got)
+		}
+		droppedTotal += dropped
+	}
+	if droppedTotal == 0 {
+		t.Fatal("no transport drops recorded despite a partition mid-query")
+	}
+
+	// The trace holds spans from the reachable half only, and its
+	// duplicate-drop spans match the nodes' drop-reason counters once
+	// the asynchronous span reports settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tr, ok := base.Trace(res.ID)
+		if !ok {
+			t.Fatal("no trace for the partitioned query")
+		}
+		executed, dupSpans := 0, uint64(0)
+		for _, s := range tr.Spans {
+			if far[s.Peer] {
+				t.Fatalf("span from unreachable peer %s: %+v", s.Peer, s)
+			}
+			switch s.Drop {
+			case "":
+				executed++
+			case "duplicate":
+				dupSpans++
+			}
+		}
+		dupMetric := uint64(0)
+		for i := 0; i < n/2; i++ {
+			dupMetric += c.nodes[i].Stats().DuplicatesDropped
+		}
+		if executed == n/2 && dupSpans == dupMetric {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace never settled: executed=%d want %d, dup spans=%d vs metric %d",
+				executed, n/2, dupSpans, dupMetric)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

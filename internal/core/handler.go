@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"bestpeer/internal/agent"
 	"bestpeer/internal/wire"
 )
@@ -31,39 +33,84 @@ func (n *Node) handle(env *wire.Envelope) {
 		})
 	case wire.KindPeerProbeOK:
 		n.deliverProbe(env.ID)
+	case wire.KindSpan:
+		// A standalone trace-span report from a peer that had no result
+		// envelope to piggyback on; the ID is the traced query's.
+		if env.Span != nil {
+			n.tracer.Record(env.ID, *env.Span)
+		}
 	default:
 		// Not a BestPeer message; ignore.
 	}
+}
+
+// dropAgent counts a non-executed agent and, when the envelope carries
+// trace context, reports a drop span to the base so the trace shows
+// where (and why) propagation was cut.
+func (n *Node) dropAgent(env *wire.Envelope, reason string) {
+	n.m.drops[reason].Inc()
+	if env.Trace == nil {
+		return
+	}
+	n.reportSpan(env.Trace, &wire.TraceSpan{
+		Peer:   n.Addr(),
+		Parent: env.From,
+		Hop:    int(env.Hops),
+		Drop:   reason,
+	})
+}
+
+// reportSpan delivers one hop span to the trace base: recorded directly
+// when this node is the base, otherwise sent as a standalone KindSpan
+// report (result envelopes piggyback their span instead — see
+// executeAgent).
+func (n *Node) reportSpan(tc *wire.TraceContext, span *wire.TraceSpan) {
+	if tc.Base == n.Addr() {
+		n.tracer.Record(tc.QueryID, *span)
+		return
+	}
+	n.send(tc.Base, &wire.Envelope{
+		Kind: wire.KindSpan,
+		ID:   tc.QueryID,
+		TTL:  1,
+		From: n.Addr(),
+		To:   tc.Base,
+		Span: span,
+	})
 }
 
 // handleAgent implements the receive side of §3.1: drop duplicates and
 // expired agents, obtain the class if missing, execute locally, send
 // answers directly to the base node, and clone-forward to direct peers.
 func (n *Node) handleAgent(env *wire.Envelope) {
+	arrived := time.Now()
 	if env.Expired() {
 		// Lifetime exhausted on arrival: the host drops the agent
 		// without executing it, so TTL t reaches exactly distance t.
-		n.bump(func(s *Stats) { s.ExpiredDropped++ })
+		n.dropAgent(env, "expired")
 		return
 	}
 	if n.seen.Seen(env.ID) {
-		n.bump(func(s *Stats) { s.DuplicatesDropped++ })
+		n.dropAgent(env, "duplicate")
 		return
 	}
 	packet, err := agent.DecodePacket(env.Body)
 	if err != nil {
+		n.dropAgent(env, "decode")
 		return
 	}
 	// Forward first: propagation does not wait for a class transfer.
-	n.forwardAgent(env)
+	fanOut := n.forwardAgent(env)
 
 	if !n.registry.Installed(packet.Class) {
 		if !n.registry.Known(packet.Class) {
+			n.dropAgent(env, "no-class")
 			return // cannot ever run this class
 		}
 		// Park the agent and ask the previous hop for the class.
 		n.pendingMu.Lock()
-		n.pending[packet.Class] = append(n.pending[packet.Class], pendingAgent{env, packet})
+		n.pending[packet.Class] = append(n.pending[packet.Class],
+			pendingAgent{env: env, packet: packet, arrived: arrived, fanOut: fanOut})
 		first := len(n.pending[packet.Class]) == 1
 		n.pendingMu.Unlock()
 		if first {
@@ -75,32 +122,49 @@ func (n *Node) handleAgent(env *wire.Envelope) {
 		}
 		return
 	}
-	n.executeAgent(env, packet)
+	n.executeAgent(env, packet, arrived, fanOut)
 }
 
 // forwardAgent clones the agent to every direct peer except the one it
 // came from, decrementing TTL and incrementing Hops. Clones that would
-// arrive already expired are not sent.
-func (n *Node) forwardAgent(env *wire.Envelope) {
+// arrive already expired are not sent. It returns the fan-out: how many
+// clones were dispatched.
+func (n *Node) forwardAgent(env *wire.Envelope) int {
 	if env.TTL <= 1 {
-		return
+		return 0
 	}
 	from := env.From
 	me := n.Addr()
+	fanOut := 0
 	for _, p := range n.Peers() {
 		if p.Addr == from || p.Addr == me {
 			continue
 		}
 		n.send(p.Addr, env.Forwarded(me, p.Addr))
-		n.bump(func(s *Stats) { s.AgentsForwarded++ })
+		n.m.agentsForwarded.Inc()
+		fanOut++
 	}
+	return fanOut
 }
 
 // executeAgent reconstructs and runs the agent against the local store,
-// then returns any answers straight to the base node.
-func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet) {
+// then returns any answers straight to the base node. When the envelope
+// carries trace context, the hop's span rides the result envelope (or
+// travels as a standalone report when there is nothing to return).
+func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet, arrived time.Time, fanOut int) {
+	var span *wire.TraceSpan
+	if env.Trace != nil {
+		span = &wire.TraceSpan{
+			Peer:   n.Addr(),
+			Parent: env.From,
+			Hop:    int(env.Hops),
+			WaitNS: time.Since(arrived).Nanoseconds(),
+			FanOut: fanOut,
+		}
+	}
 	ag, err := n.registry.New(packet.Class, packet.State)
 	if err != nil {
+		n.dropAgent(env, "decode")
 		return
 	}
 	ctx := &agent.Context{
@@ -111,9 +175,18 @@ func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet) {
 		AccessLevel: packet.AccessLevel,
 		ActiveNodes: n.active,
 	}
+	start := time.Now()
 	results, err := ag.Execute(ctx)
-	n.bump(func(s *Stats) { s.AgentsExecuted++ })
+	n.m.execSeconds.ObserveDuration(time.Since(start))
+	n.m.agentsExecuted.Inc()
+	if span != nil {
+		span.ExecNS = time.Since(start).Nanoseconds()
+		span.Matches = len(results)
+	}
 	if err != nil || len(results) == 0 {
+		if span != nil {
+			n.reportSpan(env.Trace, span)
+		}
 		return
 	}
 	kind := wire.KindResult
@@ -126,7 +199,13 @@ func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet) {
 		}
 		results = stripped
 	}
-	n.bump(func(s *Stats) { s.AnswersSent += uint64(len(results)) })
+	n.m.answersSent.Add(uint64(len(results)))
+	if span != nil && env.Trace.Base == n.Addr() {
+		// This node is the base (an agent looped back); record locally
+		// and strip the piggyback.
+		n.tracer.Record(env.Trace.QueryID, *span)
+		span = nil
+	}
 	n.send(packet.Base, &wire.Envelope{
 		Kind: kind,
 		ID:   env.ID, // answers carry the query id so the base can route them
@@ -134,11 +213,16 @@ func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet) {
 		From: n.Addr(),
 		To:   packet.Base,
 		Body: agent.EncodeResults(results, int(env.Hops), n.ID(), n.Addr()),
+		Span: span,
 	})
 }
 
-// handleResult routes an incoming answer batch to its query.
+// handleResult routes an incoming answer batch to its query, recording
+// any piggybacked trace span first.
 func (n *Node) handleResult(env *wire.Envelope, hint bool) {
+	if env.Span != nil {
+		n.tracer.Record(env.ID, *env.Span)
+	}
 	batch, err := agent.DecodeResults(env.Body)
 	if err != nil {
 		return
@@ -147,6 +231,7 @@ func (n *Node) handleResult(env *wire.Envelope, hint bool) {
 	if !ok {
 		return // late answer for a finished query
 	}
+	n.m.answerHops.Observe(float64(batch.Hops))
 	v.(*queryState).deliver(batch, hint)
 }
 
@@ -200,7 +285,7 @@ func (n *Node) handleClassWant(env *wire.Envelope) {
 }
 
 func (n *Node) shipClass(to, class string, code []byte) {
-	n.bump(func(s *Stats) { s.ClassesShipped++ })
+	n.m.classesShipped.Inc()
 	n.send(to, &wire.Envelope{
 		Kind: wire.KindClassShip, ID: wire.NewMsgID(), TTL: 1,
 		From: n.Addr(), To: to,
@@ -218,7 +303,7 @@ func (n *Node) handleClassShip(env *wire.Envelope) {
 		n.log.Warn("class install rejected", "class", s.Class, "err", err)
 		return
 	}
-	n.bump(func(st *Stats) { st.ClassesInstalled++ })
+	n.m.classesInstalled.Inc()
 	n.log.Info("installed shipped class", "class", s.Class, "bytes", len(s.Code))
 	n.pendingMu.Lock()
 	parked := n.pending[s.Class]
@@ -227,7 +312,7 @@ func (n *Node) handleClassShip(env *wire.Envelope) {
 	delete(n.pendingWants, s.Class)
 	n.pendingMu.Unlock()
 	for _, pa := range parked {
-		n.executeAgent(pa.env, pa.packet)
+		n.executeAgent(pa.env, pa.packet, pa.arrived, pa.fanOut)
 	}
 	// Serve downstream nodes whose class requests arrived while this
 	// node was itself still waiting for the class.

@@ -17,6 +17,7 @@ import (
 
 	"bestpeer/internal/agent"
 	"bestpeer/internal/liglo"
+	"bestpeer/internal/obs"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/storm"
 	"bestpeer/internal/transport"
@@ -71,6 +72,14 @@ type Config struct {
 	// Liglo tunes the LIGLO client's retry/backoff policy. The zero
 	// value selects the liglo package defaults.
 	Liglo liglo.ClientOptions
+	// Metrics is the registry all of the node's metric families — node,
+	// transport, LIGLO client and StorM — are published to. Nil creates
+	// a private registry (exposed via Metrics()). Use one registry per
+	// node: the messenger and store register per-instance collectors.
+	Metrics *obs.Registry
+	// TraceCapacity caps how many query traces the node retains for
+	// Trace and the admin endpoint. Zero selects the obs default (128).
+	TraceCapacity int
 }
 
 // Node is a live BestPeer participant.
@@ -89,6 +98,7 @@ type Node struct {
 	peers   []Peer
 	peerGen uint64 // bumped on every peer-set mutation
 	closed  bool
+	admin   *obs.AdminServer
 
 	seen    *dedup
 	queries sync.Map // wire.MsgID -> *queryState
@@ -101,11 +111,16 @@ type Node struct {
 	pending      map[string][]pendingAgent
 	pendingWants map[string][]string
 
-	// Stats, updated atomically under mu.
-	stats Stats
+	// metrics is the node's registry; tracer assembles query traces at
+	// this node when it acts as a query base; m holds the node-family
+	// metric handles.
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	m       nodeMetrics
 }
 
-// Stats counts node activity.
+// Stats counts node activity. It is a point-in-time snapshot assembled
+// from the node's metric registry by Stats().
 type Stats struct {
 	AgentsExecuted    uint64
 	AgentsForwarded   uint64
@@ -120,9 +135,68 @@ type Stats struct {
 	ContainedPanics uint64
 }
 
+// agentDropReasons labels the bestpeer_node_agent_drops_total family and
+// doubles as the trace-span Drop vocabulary ("error" excepted: a span
+// records it but the agent did execute, so it is not a drop).
+var agentDropReasons = []string{"expired", "duplicate", "decode", "no-class"}
+
+// nodeMetrics holds the node's own metric handles (the
+// bestpeer_node_* family).
+type nodeMetrics struct {
+	queries          *obs.Counter
+	agentsExecuted   *obs.Counter
+	agentsForwarded  *obs.Counter
+	answersSent      *obs.Counter
+	classesShipped   *obs.Counter
+	classesInstalled *obs.Counter
+	reconfigs        *obs.Counter
+	containedPanics  *obs.Counter
+	drops            map[string]*obs.Counter
+	execSeconds      *obs.Histogram
+	answerHops       *obs.Histogram
+}
+
+// bindMetrics registers the node metric families on reg and keeps the
+// update handles.
+func (n *Node) bindMetrics(reg *obs.Registry) {
+	n.m.queries = reg.Counter("bestpeer_node_queries_total",
+		"Queries issued with this node as the base.")
+	n.m.agentsExecuted = reg.Counter("bestpeer_node_agents_executed_total",
+		"Agents executed against the local store.")
+	n.m.agentsForwarded = reg.Counter("bestpeer_node_agents_forwarded_total",
+		"Agent clones forwarded to direct peers.")
+	n.m.answersSent = reg.Counter("bestpeer_node_answers_sent_total",
+		"Results returned out-of-network to query bases.")
+	n.m.classesShipped = reg.Counter("bestpeer_node_classes_shipped_total",
+		"Agent class payloads shipped to peers.")
+	n.m.classesInstalled = reg.Counter("bestpeer_node_classes_installed_total",
+		"Agent classes installed from peers.")
+	n.m.reconfigs = reg.Counter("bestpeer_node_reconfigs_total",
+		"Peer-set reconfiguration decisions that changed the set.",
+		obs.L("strategy", n.strategy.Name()))
+	n.m.containedPanics = reg.Counter("bestpeer_node_contained_panics_total",
+		"Node-goroutine panics recovered instead of crashing the process.")
+	n.m.drops = make(map[string]*obs.Counter, len(agentDropReasons))
+	for _, reason := range agentDropReasons {
+		n.m.drops[reason] = reg.Counter("bestpeer_node_agent_drops_total",
+			"Incoming agents dropped without execution, by reason.",
+			obs.L("reason", reason))
+	}
+	n.m.execSeconds = reg.Histogram("bestpeer_node_agent_exec_seconds",
+		"Agent execution time against the local store.", obs.LatencyBuckets)
+	n.m.answerHops = reg.Histogram("bestpeer_node_answer_hops",
+		"Hop distance of answer batches arriving at this base.", obs.HopBuckets)
+}
+
 type pendingAgent struct {
 	env    *wire.Envelope
 	packet *agent.Packet
+	// arrived is when the agent reached this node; the span's WaitNS
+	// includes any class-transfer wait measured from it.
+	arrived time.Time
+	// fanOut is how many peers the agent was clone-forwarded to on
+	// arrival (forwarding does not wait for the class).
+	fanOut int
 }
 
 // NewNode starts a node with the given configuration.
@@ -159,6 +233,14 @@ func NewNode(cfg Config) (*Node, error) {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	mreg := cfg.Metrics
+	if mreg == nil {
+		mreg = obs.NewRegistry()
+	}
+	// Every layer publishes to the node's registry, so one /metrics
+	// scrape covers node, transport, LIGLO-client and StorM families.
+	cfg.Transport.Metrics = mreg
+	cfg.Liglo.Metrics = mreg
 	n := &Node{
 		cfg:          cfg,
 		log:          logger,
@@ -170,7 +252,11 @@ func NewNode(cfg Config) (*Node, error) {
 		seen:         newDedup(8192),
 		pending:      make(map[string][]pendingAgent),
 		pendingWants: make(map[string][]string),
+		metrics:      mreg,
+		tracer:       obs.NewTracer(cfg.TraceCapacity),
 	}
+	n.bindMetrics(mreg)
+	cfg.Store.RegisterMetrics(mreg)
 	m, err := transport.NewMessengerOpts(cfg.Network, cfg.ListenAddr, n.handle, cfg.Transport)
 	if err != nil {
 		return nil, err
@@ -201,11 +287,76 @@ func (n *Node) ActiveNodes() *agent.ActiveSet { return n.active }
 // Strategy returns the reconfiguration strategy in use.
 func (n *Node) Strategy() reconfig.Strategy { return n.strategy }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters, read from the metric
+// registry.
 func (n *Node) Stats() Stats {
+	return Stats{
+		AgentsExecuted:    n.m.agentsExecuted.Value(),
+		AgentsForwarded:   n.m.agentsForwarded.Value(),
+		DuplicatesDropped: n.m.drops["duplicate"].Value(),
+		ExpiredDropped:    n.m.drops["expired"].Value(),
+		AnswersSent:       n.m.answersSent.Value(),
+		ClassesShipped:    n.m.classesShipped.Value(),
+		ClassesInstalled:  n.m.classesInstalled.Value(),
+		Reconfigs:         n.m.reconfigs.Value(),
+		ContainedPanics:   n.m.containedPanics.Value(),
+	}
+}
+
+// Metrics returns the node's metric registry.
+func (n *Node) Metrics() *obs.Registry { return n.metrics }
+
+// MessengerStats returns a snapshot of the node's transport counters.
+func (n *Node) MessengerStats() transport.MessengerStats { return n.msgr.Stats() }
+
+// Trace returns the assembled trace for a query this node issued (and
+// still retains). Spans arrive asynchronously on the out-of-network
+// return path, so a trace read immediately after Query may still grow.
+func (n *Node) Trace(queryID wire.MsgID) (*obs.QueryTrace, bool) {
+	return n.tracer.Get(queryID)
+}
+
+// RecentTraces returns the node's most recently issued query traces,
+// newest first.
+func (n *Node) RecentTraces(max int) []*obs.QueryTrace {
+	return n.tracer.Recent(max)
+}
+
+// ServeAdmin starts the node's admin HTTP endpoint (metrics, health,
+// peers, query traces, pprof) on addr. Empty or host-less addrs bind
+// loopback — the endpoint is diagnostic and unauthenticated, so exposing
+// it beyond the local host is an explicit opt-in. The server stops when
+// the node closes.
+func (n *Node) ServeAdmin(addr string) (*obs.AdminServer, error) {
+	if n.isClosed() {
+		return nil, ErrNodeClosed
+	}
+	srv, err := obs.StartAdmin(addr, obs.AdminConfig{
+		Registry: n.metrics,
+		Tracer:   n.tracer,
+		Health: func() any {
+			return map[string]any{
+				"status": "ok",
+				"addr":   n.Addr(),
+				"id":     n.ID().String(),
+				"peers":  len(n.Peers()),
+			}
+		},
+		Peers: func() any { return n.Peers() },
+	})
+	if err != nil {
+		return nil, err
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	if n.admin != nil {
+		n.mu.Unlock()
+		_ = srv.Close() // losing this just-started server's close error is fine; the caller gets the real error below
+		return nil, errors.New("core: admin endpoint already serving")
+	}
+	n.admin = srv
+	n.mu.Unlock()
+	n.log.Info("admin endpoint serving", "addr", srv.Addr())
+	return srv, nil
 }
 
 // Peers returns a copy of the direct-peer set.
@@ -331,7 +482,12 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	admin := n.admin
+	n.admin = nil
 	n.mu.Unlock()
+	if admin != nil {
+		_ = admin.Close() // diagnostic endpoint; messenger shutdown below is what matters
+	}
 	// Interrupts any LIGLO retry backoff so Close never waits one out.
 	_ = n.lgc.Close() // always returns nil
 	return n.msgr.Close()
@@ -354,18 +510,12 @@ func (n *Node) send(to string, env *wire.Envelope) {
 	}
 }
 
-func (n *Node) bump(f func(*Stats)) {
-	n.mu.Lock()
-	f(&n.stats)
-	n.mu.Unlock()
-}
-
 // containPanic is deferred at the top of node goroutines so a panic in a
 // probe or fetch is logged and counted instead of killing the process.
 func (n *Node) containPanic(where string) {
 	if r := recover(); r != nil {
 		n.log.Error("panic contained", "where", where, "panic", r)
-		n.bump(func(s *Stats) { s.ContainedPanics++ })
+		n.m.containedPanics.Inc()
 	}
 }
 

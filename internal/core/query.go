@@ -144,6 +144,8 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 	qs := newQueryState(opts.WaitAnswers)
 	n.queries.Store(qid, qs)
 	defer n.queries.Delete(qid)
+	n.m.queries.Inc()
+	n.tracer.Begin(qid, n.Addr())
 
 	packet := &agent.Packet{
 		Class:       ag.Class(),
@@ -156,6 +158,7 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 	body := agent.EncodePacket(packet)
 
 	// Local execution: the base node's own sharable data participates.
+	localSpan := wire.TraceSpan{Peer: n.Addr(), Hop: 0}
 	if !opts.SkipLocal {
 		ctx := &agent.Context{
 			Store:       n.store,
@@ -165,7 +168,11 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 			AccessLevel: n.cfg.AccessLevel,
 			ActiveNodes: n.active,
 		}
-		if local, err := ag.Execute(ctx); err == nil && len(local) > 0 {
+		execStart := time.Now()
+		local, err := ag.Execute(ctx)
+		localSpan.ExecNS = time.Since(execStart).Nanoseconds()
+		localSpan.Matches = len(local)
+		if err == nil && len(local) > 0 {
 			if mode == 2 {
 				// Hints carry names only, local ones included.
 				stripped := make([]agent.Result, len(local))
@@ -183,20 +190,25 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 	// Clone to every direct peer. Sends are queued on the messenger's
 	// per-destination workers, so a hung or slow peer cannot eat into
 	// the collection window — the fan-out completes immediately and the
-	// full timeout below is spent collecting.
+	// full timeout below is spent collecting. Each clone carries the
+	// trace context so every hop can report a span back to this base.
 	me := n.Addr()
+	tc := &wire.TraceContext{QueryID: qid, Base: me}
 	for _, p := range n.Peers() {
 		env := &wire.Envelope{
-			Kind: wire.KindAgent,
-			ID:   qid,
-			TTL:  ttl,
-			Hops: 1, // arriving at a direct peer means one hop travelled
-			From: me,
-			To:   p.Addr,
-			Body: body,
+			Kind:  wire.KindAgent,
+			ID:    qid,
+			TTL:   ttl,
+			Hops:  1, // arriving at a direct peer means one hop travelled
+			From:  me,
+			To:    p.Addr,
+			Body:  body,
+			Trace: tc,
 		}
 		n.send(p.Addr, env)
+		localSpan.FanOut++
 	}
+	n.tracer.Record(qid, localSpan)
 
 	select {
 	case <-qs.done:
@@ -314,8 +326,8 @@ func (n *Node) reconfigure(answers, hints []Answer) bool {
 		n.mu.Lock()
 		n.peers = newSet
 		n.peerGen++
-		n.stats.Reconfigs++
 		n.mu.Unlock()
+		n.m.reconfigs.Inc()
 		addrs := make([]string, len(newSet))
 		for i, p := range newSet {
 			addrs[i] = p.Addr

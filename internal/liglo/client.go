@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"bestpeer/internal/obs"
 	"bestpeer/internal/transport"
 	"bestpeer/internal/wire"
 )
@@ -30,6 +31,10 @@ type ClientOptions struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the retry backoff. Default 1s.
 	BackoffMax time.Duration
+	// Metrics is the registry the client's call counters are published
+	// to. Nil means a private registry; a node shares its own registry
+	// here so LIGLO traffic shows up on /metrics.
+	Metrics *obs.Registry
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -47,6 +52,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
 	}
 	return o
 }
@@ -72,6 +80,10 @@ type Client struct {
 
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// Per-operation call counters, keyed by op name.
+	calls map[string]*obs.Counter
+	fails map[string]*obs.Counter
 }
 
 // NewClient returns a client that dials over the given network with
@@ -82,7 +94,21 @@ func NewClient(network transport.Network) *Client {
 
 // NewClientOpts returns a client with explicit failure-handling options.
 func NewClientOpts(network transport.Network, opts ClientOptions) *Client {
-	return &Client{network: network, opts: opts.withDefaults(), stop: make(chan struct{})}
+	c := &Client{
+		network: network,
+		opts:    opts.withDefaults(),
+		stop:    make(chan struct{}),
+		calls:   make(map[string]*obs.Counter),
+		fails:   make(map[string]*obs.Counter),
+	}
+	reg := c.opts.Metrics
+	for _, op := range []string{"register", "rejoin", "lookup", "peers"} {
+		c.calls[op] = reg.Counter("bestpeer_liglo_client_calls_total",
+			"LIGLO request/response exchanges attempted, by operation.", obs.L("op", op))
+		c.fails[op] = reg.Counter("bestpeer_liglo_client_call_failures_total",
+			"LIGLO exchanges that failed at the transport layer, by operation.", obs.L("op", op))
+	}
+	return c
 }
 
 // Close interrupts any in-flight retry backoff; blocked RegisterAny and
@@ -107,8 +133,17 @@ func (c *Client) sleep(d time.Duration) bool {
 }
 
 // call performs one request/response exchange with a server, bounded by
-// the dial and call timeouts.
-func (c *Client) call(server string, req *wire.Envelope) (*wire.Envelope, error) {
+// the dial and call timeouts. op names the operation for metrics.
+func (c *Client) call(op, server string, req *wire.Envelope) (*wire.Envelope, error) {
+	c.calls[op].Inc()
+	resp, err := c.callOnce(server, req)
+	if err != nil {
+		c.fails[op].Inc()
+	}
+	return resp, err
+}
+
+func (c *Client) callOnce(server string, req *wire.Envelope) (*wire.Envelope, error) {
 	conn, err := transport.DialTimeout(c.network, server, c.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("liglo: dial %s: %w", server, err)
@@ -138,7 +173,7 @@ func (c *Client) Register(server, myAddr string) (wire.BPID, []PeerInfo, error) 
 		TTL:  1,
 		Body: encodeRegisterReq(&registerReq{Addr: myAddr}),
 	}
-	resp, err := c.call(server, req)
+	resp, err := c.call("register", server, req)
 	if err != nil {
 		return wire.BPID{}, nil, err
 	}
@@ -214,7 +249,7 @@ func (c *Client) rejoinOnce(id wire.BPID, myAddr string) error {
 		TTL:  1,
 		Body: encodeRejoinReq(&rejoinReq{ID: id, Addr: myAddr}),
 	}
-	resp, err := c.call(id.LIGLO, req)
+	resp, err := c.call("rejoin", id.LIGLO, req)
 	if err != nil {
 		return err
 	}
@@ -243,7 +278,7 @@ func (c *Client) Lookup(id wire.BPID) (addr string, online bool, err error) {
 		TTL:  1,
 		Body: encodeLookupReq(&lookupReq{ID: id}),
 	}
-	resp, err := c.call(id.LIGLO, req)
+	resp, err := c.call("lookup", id.LIGLO, req)
 	if err != nil {
 		return "", false, err
 	}
@@ -273,7 +308,7 @@ func (c *Client) Peers(server string, self wire.BPID, max int) ([]PeerInfo, erro
 		TTL:  1,
 		Body: encodePeersReq(&peersReq{Self: self, Max: max}),
 	}
-	resp, err := c.call(server, req)
+	resp, err := c.call("peers", server, req)
 	if err != nil {
 		return nil, err
 	}

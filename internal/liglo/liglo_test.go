@@ -44,8 +44,8 @@ func TestRegisterIssuesSequentialBPIDs(t *testing.T) {
 	if len(peers2) != 1 || peers2[0].ID != id1 || peers2[0].Addr != "node-1" {
 		t.Fatalf("second registrant peers = %v", peers2)
 	}
-	if srv.Members() != 2 || srv.Registers != 2 {
-		t.Fatalf("members=%d registers=%d", srv.Members(), srv.Registers)
+	if srv.Members() != 2 || srv.Stats().Registers != 2 {
+		t.Fatalf("members=%d registers=%d", srv.Members(), srv.Stats().Registers)
 	}
 }
 
@@ -72,8 +72,8 @@ func TestCapacityRejection(t *testing.T) {
 	if _, _, err := cli.Register(srv.Addr(), "c"); !errors.Is(err, ErrFull) {
 		t.Fatalf("over-capacity register: %v", err)
 	}
-	if srv.Rejected != 1 {
-		t.Fatalf("Rejected = %d", srv.Rejected)
+	if srv.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d", srv.Stats().Rejected)
 	}
 }
 
@@ -125,8 +125,8 @@ func TestRejoinUpdatesAddress(t *testing.T) {
 	if addr != "new-addr" || !online {
 		t.Fatalf("lookup after rejoin = %q online=%v", addr, online)
 	}
-	if srv.Rejoins != 1 {
-		t.Fatalf("Rejoins = %d", srv.Rejoins)
+	if srv.Stats().Rejoins != 1 {
+		t.Fatalf("Rejoins = %d", srv.Stats().Rejoins)
 	}
 }
 
@@ -161,7 +161,7 @@ func TestWrongHomeRejected(t *testing.T) {
 		Kind: wire.KindLigloLookup, ID: wire.NewMsgID(), TTL: 1,
 		Body: encodeLookupReq(&lookupReq{ID: doctored}),
 	}
-	resp, err := cli.call(s2.Addr(), req)
+	resp, err := cli.call("lookup", s2.Addr(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,12 +311,12 @@ func TestServerIgnoresGarbageRequests(t *testing.T) {
 	// Garbage body on a valid kind: server drops the connection.
 	req := &wire.Envelope{Kind: wire.KindLigloRegister, ID: wire.NewMsgID(), TTL: 1,
 		Body: []byte{0xFF, 0xFF, 0xFF}}
-	if _, err := cli.call(srv.Addr(), req); err == nil {
+	if _, err := cli.call("register", srv.Addr(), req); err == nil {
 		t.Fatal("garbage register got a reply")
 	}
 	// Wrong kind entirely.
 	req2 := &wire.Envelope{Kind: wire.KindAgent, ID: wire.NewMsgID(), TTL: 1}
-	if _, err := cli.call(srv.Addr(), req2); err == nil {
+	if _, err := cli.call("register", srv.Addr(), req2); err == nil {
 		t.Fatal("non-liglo kind got a reply")
 	}
 	// Server still alive afterwards.
@@ -392,8 +392,8 @@ func TestExpireAfterDropsLongOfflineMembers(t *testing.T) {
 	}
 	time.Sleep(50 * time.Millisecond)
 	srv.CheckNow()
-	if srv.Members() != 0 || srv.Expired != 1 {
-		t.Fatalf("member not expired: members=%d expired=%d", srv.Members(), srv.Expired)
+	if srv.Members() != 0 || srv.Stats().Expired != 1 {
+		t.Fatalf("member not expired: members=%d expired=%d", srv.Members(), srv.Stats().Expired)
 	}
 	if _, _, err := cli.Lookup(id); !errors.Is(err, ErrUnknown) {
 		t.Fatalf("expired member still resolvable: %v", err)

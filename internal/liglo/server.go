@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"bestpeer/internal/obs"
 	"bestpeer/internal/transport"
 	"bestpeer/internal/wire"
 )
@@ -28,6 +29,9 @@ type ServerConfig struct {
 	// member table bounded. Zero never expires — a member's BPID is
 	// normally valid forever, so expiry is an operator policy.
 	ExpireAfter time.Duration
+	// Metrics is the registry the server's counters are published to.
+	// Nil means a private registry.
+	Metrics *obs.Registry
 }
 
 type member struct {
@@ -52,24 +56,55 @@ type Server struct {
 	wg        sync.WaitGroup
 	stopProbe chan struct{}
 
-	// Stats.
-	Registers uint64
-	Rejoins   uint64
-	Lookups   uint64
-	Rejected  uint64
-	Expired   uint64
-	// Panics counts goroutine panics contained by the server; anything
+	// Metric handles, registered on cfg.Metrics at construction.
+	registers *obs.Counter
+	rejoins   *obs.Counter
+	lookups   *obs.Counter
+	rejected  *obs.Counter
+	expired   *obs.Counter
+	// panics counts goroutine panics contained by the server; anything
 	// above zero is a bug worth a look, but it never kills the process.
-	Panics uint64
+	panics *obs.Counter
+	// Liveness-sweep outcomes: how many member probes came back alive
+	// or dead across all sweeps, and how many sweeps ran.
+	sweeps       *obs.Counter
+	sweepOnline  *obs.Counter
+	sweepOffline *obs.Counter
+}
+
+// ServerStats is a point-in-time snapshot of the server counters.
+type ServerStats struct {
+	Registers    uint64
+	Rejoins      uint64
+	Lookups      uint64
+	Rejected     uint64
+	Expired      uint64
+	Panics       uint64
+	Sweeps       uint64
+	SweepOnline  uint64
+	SweepOffline uint64
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Registers:    s.registers.Value(),
+		Rejoins:      s.rejoins.Value(),
+		Lookups:      s.lookups.Value(),
+		Rejected:     s.rejected.Value(),
+		Expired:      s.expired.Value(),
+		Panics:       s.panics.Value(),
+		Sweeps:       s.sweeps.Value(),
+		SweepOnline:  s.sweepOnline.Value(),
+		SweepOffline: s.sweepOffline.Value(),
+	}
 }
 
 // contain is deferred at the top of every server goroutine so a panic is
 // recorded instead of taking the whole process down.
 func (s *Server) contain() {
 	if r := recover(); r != nil {
-		s.mu.Lock()
-		s.Panics++
-		s.mu.Unlock()
+		s.panics.Inc()
 	}
 }
 
@@ -83,12 +118,33 @@ func NewServer(network transport.Network, addr string, cfg ServerConfig) (*Serve
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	const sweepHelp = "Member probes per liveness sweep, by outcome."
 	s := &Server{
 		network:   network,
 		listener:  l,
 		cfg:       cfg,
 		members:   make(map[uint64]*member),
 		stopProbe: make(chan struct{}),
+		registers: reg.Counter("bestpeer_liglo_registers_total",
+			"BPIDs issued to first-time registrants."),
+		rejoins: reg.Counter("bestpeer_liglo_rejoins_total",
+			"Members that reported a new address after reconnecting."),
+		lookups: reg.Counter("bestpeer_liglo_lookups_total",
+			"BPID-to-address resolutions served."),
+		rejected: reg.Counter("bestpeer_liglo_rejected_total",
+			"Registrations refused because the server was at capacity."),
+		expired: reg.Counter("bestpeer_liglo_expired_total",
+			"Members dropped after exceeding the offline expiry."),
+		panics: reg.Counter("bestpeer_liglo_panics_total",
+			"Server goroutine panics contained."),
+		sweeps: reg.Counter("bestpeer_liglo_sweeps_total",
+			"Liveness sweeps completed."),
+		sweepOnline:  reg.Counter("bestpeer_liglo_sweep_members_total", sweepHelp, obs.L("outcome", "online")),
+		sweepOffline: reg.Counter("bestpeer_liglo_sweep_members_total", sweepHelp, obs.L("outcome", "offline")),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -187,14 +243,14 @@ func (s *Server) handleRegister(r *registerReq) *wire.Envelope {
 	defer s.mu.Unlock()
 
 	if s.cfg.Capacity > 0 && len(s.members) >= s.cfg.Capacity {
-		s.Rejected++
+		s.rejected.Inc()
 		return reply(wire.KindLigloRegisterd, encodeRegisterResp(&registerResp{Err: ErrFull.Error()}))
 	}
 	s.nextID++
 	m := &member{node: s.nextID, addr: r.Addr, online: true, lastSeen: time.Now()}
 	peers := s.peerListLocked(m.node)
 	s.members[m.node] = m
-	s.Registers++
+	s.registers.Inc()
 
 	return reply(wire.KindLigloRegisterd, encodeRegisterResp(&registerResp{
 		ID:    wire.BPID{LIGLO: s.Addr(), Node: m.node},
@@ -244,14 +300,14 @@ func (s *Server) handleRejoin(r *rejoinReq) *wire.Envelope {
 	m.addr = r.Addr
 	m.online = true
 	m.lastSeen = time.Now()
-	s.Rejoins++
+	s.rejoins.Inc()
 	return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{}))
 }
 
 func (s *Server) handleLookup(r *lookupReq) *wire.Envelope {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.Lookups++
+	s.lookups.Inc()
 	if r.ID.LIGLO != s.Addr() {
 		return reply(wire.KindLigloStatus, encodeLookupResp(&lookupResp{Err: ErrWrongHome.Error()}))
 	}
@@ -326,8 +382,8 @@ func (s *Server) CheckNow() int {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	online := 0
+	offline := 0
 	now := time.Now()
 	for node, m := range s.members {
 		if alive[node] {
@@ -337,11 +393,16 @@ func (s *Server) CheckNow() int {
 			continue
 		}
 		m.online = false
+		offline++
 		if s.cfg.ExpireAfter > 0 && now.Sub(m.lastSeen) > s.cfg.ExpireAfter {
 			delete(s.members, node)
-			s.Expired++
+			s.expired.Inc()
 		}
 	}
+	s.mu.Unlock()
+	s.sweeps.Inc()
+	s.sweepOnline.Add(uint64(online))
+	s.sweepOffline.Add(uint64(offline))
 	return online
 }
 

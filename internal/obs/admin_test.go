@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"bestpeer/internal/wire"
+)
+
+func adminGet(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "demo counter").Add(3)
+	tracer := NewTracer(8)
+	id := wire.NewMsgID()
+	tracer.Begin(id, "base:1")
+	tracer.Record(id, wire.TraceSpan{Peer: "b:2", Parent: "base:1", Hop: 1, Matches: 2})
+
+	srv, err := StartAdmin("", AdminConfig{
+		Registry: reg,
+		Tracer:   tracer,
+		Health:   func() any { return map[string]string{"status": "ok", "addr": "base:1"} },
+		Peers:    func() any { return []string{"b:2", "c:3"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.Addr(), "127.0.0.1:") {
+		t.Fatalf("default bind must be loopback, got %s", srv.Addr())
+	}
+	base := "http://" + srv.Addr()
+
+	code, body, ctype := adminGet(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "demo_total 3") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+
+	code, body, _ = adminGet(t, base+"/metrics.json")
+	var snap Snapshot
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if snap.Value("demo_total") != 3 {
+		t.Fatalf("/metrics.json value = %v, want 3", snap.Value("demo_total"))
+	}
+
+	code, body, _ = adminGet(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz = %d:\n%s", code, body)
+	}
+
+	code, body, _ = adminGet(t, base+"/peers")
+	if code != 200 || !strings.Contains(body, `"b:2"`) {
+		t.Fatalf("/peers = %d:\n%s", code, body)
+	}
+
+	code, body, _ = adminGet(t, base+"/queries/")
+	if code != 200 || !strings.Contains(body, id.String()) {
+		t.Fatalf("/queries/ = %d:\n%s", code, body)
+	}
+
+	code, body, _ = adminGet(t, base+"/queries/"+id.String())
+	if code != 200 || !strings.Contains(body, `"b:2"`) || !strings.Contains(body, `"tree"`) {
+		t.Fatalf("/queries/<id> = %d:\n%s", code, body)
+	}
+
+	code, _, _ = adminGet(t, base+"/queries/nothex")
+	if code != http.StatusBadRequest {
+		t.Fatalf("/queries/nothex = %d, want 400", code)
+	}
+
+	code, _, _ = adminGet(t, base+"/queries/"+wire.NewMsgID().String())
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d, want 404", code)
+	}
+
+	code, body, _ = adminGet(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestStartAdminRewritesBarePort(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := StartAdmin(":0", AdminConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.Addr(), "127.0.0.1:") {
+		t.Fatalf("bare :port must bind loopback, got %s", srv.Addr())
+	}
+}

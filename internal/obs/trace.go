@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"bestpeer/internal/wire"
+)
+
+// maxSpansPerTrace bounds how many spans one trace accumulates, so a
+// pathological fan-out (or a hostile peer replaying span reports) cannot
+// grow a trace without limit.
+const maxSpansPerTrace = 4096
+
+// QueryTrace is the base node's assembled record of one query's travel
+// through the network: every hop span that made it back, in arrival
+// order.
+type QueryTrace struct {
+	ID      wire.MsgID       `json:"id"`
+	Base    string           `json:"base"`
+	Started time.Time        `json:"started"`
+	Spans   []wire.TraceSpan `json:"spans"`
+}
+
+// SpanNode is one vertex of the reconstructed trace tree: the span
+// recorded at a peer, plus the spans recorded at peers it forwarded to.
+type SpanNode struct {
+	Span     wire.TraceSpan `json:"span"`
+	Children []*SpanNode    `json:"children,omitempty"`
+}
+
+// Tree reconstructs the query's propagation tree from the flat span
+// list by linking each span under the span of its Parent address. The
+// returned roots are the base node's direct children (spans whose
+// parent is the base, or whose parent never reported a span of its
+// own — partial traces still render). Within one parent, children keep
+// arrival order.
+func (t *QueryTrace) Tree() []*SpanNode {
+	nodes := make([]*SpanNode, len(t.Spans))
+	// A peer can be visited more than once only via duplicate-drop
+	// spans; index the first executed span per peer as the attachment
+	// point.
+	byPeer := make(map[string]*SpanNode, len(t.Spans))
+	for i, s := range t.Spans {
+		nodes[i] = &SpanNode{Span: s}
+		if _, dup := byPeer[s.Peer]; !dup && s.Drop == "" {
+			byPeer[s.Peer] = nodes[i]
+		}
+	}
+	var roots []*SpanNode
+	for _, n := range nodes {
+		parent := n.Span.Parent
+		if parent != "" && parent != t.Base {
+			if p, ok := byPeer[parent]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	return roots
+}
+
+// MaxHop returns the largest hop number recorded in the trace.
+func (t *QueryTrace) MaxHop() int {
+	max := 0
+	for _, s := range t.Spans {
+		if s.Hop > max {
+			max = s.Hop
+		}
+	}
+	return max
+}
+
+// Tracer assembles query traces at the base node. It keeps a bounded
+// number of traces and evicts the oldest when full, so long-running
+// nodes do not leak memory. All methods are safe for concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	capacity int
+	traces   map[wire.MsgID]*QueryTrace
+	order    []wire.MsgID // begin order, oldest first
+}
+
+// NewTracer returns a tracer retaining up to capacity traces (a
+// sensible default is chosen for capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Tracer{capacity: capacity, traces: make(map[wire.MsgID]*QueryTrace)}
+}
+
+// Begin starts collecting spans for the query. Beginning an already
+// tracked query is a no-op, so retries are safe.
+func (tr *Tracer) Begin(id wire.MsgID, base string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.traces[id]; ok {
+		return
+	}
+	for len(tr.order) >= tr.capacity {
+		delete(tr.traces, tr.order[0])
+		tr.order = tr.order[1:]
+	}
+	tr.traces[id] = &QueryTrace{ID: id, Base: base, Started: time.Now()}
+	tr.order = append(tr.order, id)
+}
+
+// Record appends a span to the query's trace. Spans for queries that
+// were never begun (or already evicted) are dropped; the return value
+// reports whether the span was kept.
+func (tr *Tracer) Record(id wire.MsgID, span wire.TraceSpan) bool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t, ok := tr.traces[id]
+	if !ok || len(t.Spans) >= maxSpansPerTrace {
+		return false
+	}
+	t.Spans = append(t.Spans, span)
+	return true
+}
+
+// Get returns a copy of the query's trace.
+func (tr *Tracer) Get(id wire.MsgID) (*QueryTrace, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t, ok := tr.traces[id]
+	if !ok {
+		return nil, false
+	}
+	cp := *t
+	cp.Spans = append([]wire.TraceSpan(nil), t.Spans...)
+	return &cp, true
+}
+
+// Recent returns copies of the most recently begun traces, newest
+// first, at most n of them (all of them for n <= 0).
+func (tr *Tracer) Recent(n int) []*QueryTrace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if n <= 0 || n > len(tr.order) {
+		n = len(tr.order)
+	}
+	out := make([]*QueryTrace, 0, n)
+	for i := len(tr.order) - 1; i >= 0 && len(out) < n; i-- {
+		t := tr.traces[tr.order[i]]
+		cp := *t
+		cp.Spans = append([]wire.TraceSpan(nil), t.Spans...)
+		out = append(out, &cp)
+	}
+	return out
+}

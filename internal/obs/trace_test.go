@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+
+	"bestpeer/internal/wire"
+)
+
+func TestTracerRecordAndGet(t *testing.T) {
+	tr := NewTracer(4)
+	id := wire.NewMsgID()
+	tr.Begin(id, "base:1")
+	tr.Begin(id, "base:1") // idempotent
+
+	if !tr.Record(id, wire.TraceSpan{Peer: "b:2", Parent: "base:1", Hop: 1}) {
+		t.Fatal("record on live trace must succeed")
+	}
+	if tr.Record(wire.NewMsgID(), wire.TraceSpan{Peer: "x"}) {
+		t.Fatal("record on unknown trace must be dropped")
+	}
+
+	got, ok := tr.Get(id)
+	if !ok || len(got.Spans) != 1 || got.Base != "base:1" {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	// The returned trace is a copy: mutating it must not affect the tracer.
+	got.Spans[0].Peer = "mutated"
+	again, _ := tr.Get(id)
+	if again.Spans[0].Peer != "b:2" {
+		t.Fatal("Get must return a copy")
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(2)
+	ids := []wire.MsgID{wire.NewMsgID(), wire.NewMsgID(), wire.NewMsgID()}
+	for _, id := range ids {
+		tr.Begin(id, "base")
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Fatal("oldest trace must be evicted at capacity")
+	}
+	if _, ok := tr.Get(ids[2]); !ok {
+		t.Fatal("newest trace must survive")
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 2 || recent[0].ID != ids[2] || recent[1].ID != ids[1] {
+		t.Fatalf("Recent order wrong: %+v", recent)
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	qt := &QueryTrace{Base: "a:1", Spans: []wire.TraceSpan{
+		{Peer: "b:2", Parent: "a:1", Hop: 1, FanOut: 2},
+		{Peer: "c:3", Parent: "b:2", Hop: 2},
+		{Peer: "d:4", Parent: "b:2", Hop: 2},
+		{Peer: "c:3", Parent: "d:4", Hop: 3, Drop: "duplicate"},
+		{Peer: "e:5", Parent: "ghost:9", Hop: 2}, // parent never reported
+	}}
+	roots := qt.Tree()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (base child + orphan)", len(roots))
+	}
+	b := roots[0]
+	if b.Span.Peer != "b:2" || len(b.Children) != 2 {
+		t.Fatalf("b subtree wrong: %+v", b)
+	}
+	d := b.Children[1]
+	if d.Span.Peer != "d:4" || len(d.Children) != 1 || d.Children[0].Span.Drop != "duplicate" {
+		t.Fatalf("duplicate-drop span must hang under d:4: %+v", d)
+	}
+	if roots[1].Span.Peer != "e:5" {
+		t.Fatalf("orphan must surface as root: %+v", roots[1])
+	}
+	if qt.MaxHop() != 3 {
+		t.Fatalf("MaxHop = %d, want 3", qt.MaxHop())
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTracer(1)
+	id := wire.NewMsgID()
+	tr.Begin(id, "base")
+	for i := 0; i < maxSpansPerTrace; i++ {
+		if !tr.Record(id, wire.TraceSpan{Peer: "p", Hop: 1}) {
+			t.Fatalf("record %d rejected below cap", i)
+		}
+	}
+	if tr.Record(id, wire.TraceSpan{Peer: "p", Hop: 1}) {
+		t.Fatal("record past the span cap must be dropped")
+	}
+}

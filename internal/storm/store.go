@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"bestpeer/internal/obs"
 )
 
 // Store errors.
@@ -48,6 +50,10 @@ type Options struct {
 	// on-disk B+tree (see Store.LookupKeyword). Rebuilt by scan when the
 	// on-disk image is missing or implausible.
 	PersistentIndex bool
+	// Metrics is the registry the store's gauges (objects, pages, pool
+	// counters) and WAL metrics (appends, fsync latency) are published
+	// to. Nil means a private registry.
+	Metrics *obs.Registry
 }
 
 // Store is the object-level API of the storage manager: named objects on
@@ -149,7 +155,40 @@ func Open(path string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.RegisterMetrics(reg)
 	return s, nil
+}
+
+// RegisterMetrics publishes the store's state gauges (and, when the WAL
+// is enabled, its append counter and fsync histogram) on reg. Open does
+// this with Options.Metrics; a node that shares one registry per
+// process can call it again to re-bind — gauge functions replace.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("bestpeer_storm_objects",
+		"Objects currently stored.",
+		func() float64 { return float64(s.Stats().Objects) })
+	reg.GaugeFunc("bestpeer_storm_total_pages",
+		"Store file size in pages.",
+		func() float64 { return float64(s.Stats().TotalPages) })
+	reg.GaugeFunc("bestpeer_storm_pool_hits",
+		"Buffer pool fetches served from memory.",
+		func() float64 { return float64(s.Stats().PoolHits) })
+	reg.GaugeFunc("bestpeer_storm_pool_misses",
+		"Buffer pool fetches that went to disk.",
+		func() float64 { return float64(s.Stats().PoolMisses) })
+	reg.GaugeFunc("bestpeer_storm_pool_evictions",
+		"Buffer pool frames evicted.",
+		func() float64 { return float64(s.Stats().PoolEvictions) })
+	reg.GaugeFunc("bestpeer_storm_wal_records",
+		"Operations logged since the WAL was opened (0 when disabled).",
+		func() float64 { return float64(s.Stats().WALRecords) })
+	if s.wal != nil {
+		s.wal.bindMetrics(reg)
+	}
 }
 
 // recover replays the WAL tail over the store and checkpoints, so the

@@ -8,7 +8,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
+	"bestpeer/internal/obs"
 	"bestpeer/internal/wire"
 )
 
@@ -50,6 +52,19 @@ type WAL struct {
 
 	// Appended counts records written since open.
 	Appended uint64
+
+	// Optional metric handles, bound by the owning store: appended
+	// records and per-append fsync latency.
+	appends      *obs.Counter
+	fsyncSeconds *obs.Histogram
+}
+
+// bindMetrics registers the WAL's metric families on reg.
+func (w *WAL) bindMetrics(reg *obs.Registry) {
+	w.appends = reg.Counter("bestpeer_storm_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	w.fsyncSeconds = reg.Histogram("bestpeer_storm_wal_fsync_seconds",
+		"Write-ahead log fsync latency per synced append.", obs.LatencyBuckets)
 }
 
 // OpenWAL opens (creating if needed) the log at path. When syncEvery is
@@ -132,11 +147,18 @@ func (w *WAL) Append(r *walRecord) error {
 		return err
 	}
 	if w.sync {
+		start := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
+		if w.fsyncSeconds != nil {
+			w.fsyncSeconds.ObserveDuration(time.Since(start))
+		}
 	}
 	w.Appended++
+	if w.appends != nil {
+		w.appends.Inc()
+	}
 	return nil
 }
 

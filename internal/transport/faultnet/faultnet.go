@@ -27,9 +27,9 @@ import (
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"bestpeer/internal/obs"
 	"bestpeer/internal/transport"
 )
 
@@ -80,17 +80,27 @@ type Fabric struct {
 	partitions []partition
 	conns      map[*faultConn]struct{}
 
-	dialsAttempted  atomic.Uint64
-	dialsFailed     atomic.Uint64
-	dialsRefused    atomic.Uint64
-	messagesDropped atomic.Uint64
-	messagesDelayed atomic.Uint64
-	connsSevered    atomic.Uint64
+	// Metric handles; the fabric publishes injected-fault counts under
+	// the bestpeer_faultnet_* families.
+	dialsAttempted  *obs.Counter
+	dialsFailed     *obs.Counter
+	dialsRefused    *obs.Counter
+	messagesDropped *obs.Counter
+	messagesDelayed *obs.Counter
+	connsSevered    *obs.Counter
 }
 
 // New wraps inner with a fault fabric whose probabilistic faults are
-// driven by the given seed.
+// driven by the given seed. Fault counters land in a private registry;
+// use NewWithRegistry to surface them on a shared one.
 func New(inner transport.Network, seed int64) *Fabric {
+	return NewWithRegistry(inner, seed, obs.NewRegistry())
+}
+
+// NewWithRegistry is New with the fabric's fault counters registered on
+// reg, so chaos experiments can scrape injected-fault counts alongside
+// the system's own metrics.
+func NewWithRegistry(inner transport.Network, seed int64, reg *obs.Registry) *Fabric {
 	return &Fabric{
 		inner:     inner,
 		rng:       rand.New(rand.NewSource(seed)),
@@ -98,6 +108,18 @@ func New(inner transport.Network, seed int64) *Fabric {
 		hungDials: make(map[string]chan struct{}),
 		holes:     make(map[edge]bool),
 		conns:     make(map[*faultConn]struct{}),
+		dialsAttempted: reg.Counter("bestpeer_faultnet_dials_attempted_total",
+			"Dials that entered the fault fabric."),
+		dialsFailed: reg.Counter("bestpeer_faultnet_dials_failed_total",
+			"Probabilistic dial failures injected."),
+		dialsRefused: reg.Counter("bestpeer_faultnet_dials_refused_total",
+			"Dials refused by kills and partitions."),
+		messagesDropped: reg.Counter("bestpeer_faultnet_messages_dropped_total",
+			"Messages discarded by probabilistic drops and black holes."),
+		messagesDelayed: reg.Counter("bestpeer_faultnet_messages_delayed_total",
+			"Messages delayed before delivery."),
+		connsSevered: reg.Counter("bestpeer_faultnet_conns_severed_total",
+			"Live connections cut by kills and partitions."),
 	}
 }
 
@@ -111,12 +133,12 @@ func (f *Fabric) SetConfig(cfg Config) {
 // Stats returns a snapshot of the fault counters.
 func (f *Fabric) Stats() Stats {
 	return Stats{
-		DialsAttempted:  f.dialsAttempted.Load(),
-		DialsFailed:     f.dialsFailed.Load(),
-		DialsRefused:    f.dialsRefused.Load(),
-		MessagesDropped: f.messagesDropped.Load(),
-		MessagesDelayed: f.messagesDelayed.Load(),
-		ConnsSevered:    f.connsSevered.Load(),
+		DialsAttempted:  f.dialsAttempted.Value(),
+		DialsFailed:     f.dialsFailed.Value(),
+		DialsRefused:    f.dialsRefused.Value(),
+		MessagesDropped: f.messagesDropped.Value(),
+		MessagesDelayed: f.messagesDelayed.Value(),
+		ConnsSevered:    f.connsSevered.Value(),
 	}
 }
 
@@ -236,7 +258,7 @@ func (f *Fabric) collectLocked(pred func(*faultConn) bool) []*faultConn {
 
 func (f *Fabric) sever(conns []*faultConn) {
 	for _, c := range conns {
-		f.connsSevered.Add(1)
+		f.connsSevered.Inc()
 		_ = c.Close() // severing is the point; the error is uninteresting
 	}
 }
@@ -256,7 +278,7 @@ func (f *Fabric) blockedLocked(src, dst string) bool {
 }
 
 func (f *Fabric) dialFrom(src, dst string) (net.Conn, error) {
-	f.dialsAttempted.Add(1)
+	f.dialsAttempted.Inc()
 	f.mu.Lock()
 	hang := f.hungDials[dst]
 	blocked := f.blockedLocked(src, dst)
@@ -271,11 +293,11 @@ func (f *Fabric) dialFrom(src, dst string) (net.Conn, error) {
 		f.mu.Unlock()
 	}
 	if blocked {
-		f.dialsRefused.Add(1)
+		f.dialsRefused.Inc()
 		return nil, fmt.Errorf("faultnet: %s -> %s unreachable (killed or partitioned)", src, dst)
 	}
 	if failRoll {
-		f.dialsFailed.Add(1)
+		f.dialsFailed.Inc()
 		return nil, fmt.Errorf("faultnet: injected dial failure %s -> %s", src, dst)
 	}
 	conn, err := f.inner.Dial(dst)
@@ -316,12 +338,12 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("faultnet: %s -> %s severed", c.src, c.dst)
 	}
 	if delay > 0 {
-		f.messagesDelayed.Add(1)
+		f.messagesDelayed.Inc()
 		time.Sleep(delay)
 	}
 	if hole || drop {
 		// The sender believes the write succeeded; the bytes are gone.
-		f.messagesDropped.Add(1)
+		f.messagesDropped.Inc()
 		return len(p), nil
 	}
 	return c.Conn.Write(p)

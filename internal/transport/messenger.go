@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"bestpeer/internal/obs"
 	"bestpeer/internal/wire"
 )
 
@@ -43,6 +43,11 @@ type Options struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the suspect backoff. Default 10s.
 	BackoffMax time.Duration
+	// Metrics is the registry the messenger publishes its counters,
+	// queue-depth gauge and latency histograms to. Nil means a private
+	// registry; share one per node so /metrics shows transport state.
+	// Families assume one messenger per registry (per-node registries).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = 10 * time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
 	}
 	return o
 }
@@ -90,13 +98,82 @@ type Messenger struct {
 	wg     sync.WaitGroup
 	done   chan struct{}
 
-	// Stats.
-	sent          atomic.Uint64
-	received      atomic.Uint64
-	dropped       atomic.Uint64
-	redials       atomic.Uint64
-	handlerPanics atomic.Uint64
-	loopPanics    atomic.Uint64
+	// Metric handles, cached from opts.Metrics at construction so the
+	// hot path is one atomic add. Dropped envelopes are split by reason
+	// under one family.
+	sent            *obs.Counter
+	received        *obs.Counter
+	droppedQueue    *obs.Counter // reason="queue-full"
+	droppedSuspect  *obs.Counter // reason="suspect"
+	droppedEncode   *obs.Counter // reason="encode"
+	droppedDeliver  *obs.Counter // reason="deliver"
+	redialsMetric   *obs.Counter
+	handlerPanicsMx *obs.Counter
+	loopPanicsMx    *obs.Counter
+	dialSeconds     *obs.Histogram
+	writeSeconds    *obs.Histogram
+}
+
+// MessengerStats is a point-in-time snapshot of the messenger counters.
+type MessengerStats struct {
+	Sent          uint64
+	Received      uint64
+	Dropped       uint64 // all reasons combined
+	Redials       uint64
+	HandlerPanics uint64
+	LoopPanics    uint64
+}
+
+// Stats snapshots the messenger counters.
+func (m *Messenger) Stats() MessengerStats {
+	return MessengerStats{
+		Sent:     m.sent.Value(),
+		Received: m.received.Value(),
+		Dropped: m.droppedQueue.Value() + m.droppedSuspect.Value() +
+			m.droppedEncode.Value() + m.droppedDeliver.Value(),
+		Redials:       m.redialsMetric.Value(),
+		HandlerPanics: m.handlerPanicsMx.Value(),
+		LoopPanics:    m.loopPanicsMx.Value(),
+	}
+}
+
+// bindMetrics registers the messenger's metric families and caches the
+// instance handles.
+func (m *Messenger) bindMetrics(reg *obs.Registry) {
+	const dropHelp = "Outgoing envelopes abandoned, by reason."
+	m.sent = reg.Counter("bestpeer_transport_messages_sent_total",
+		"Envelopes written to the network.")
+	m.received = reg.Counter("bestpeer_transport_messages_received_total",
+		"Envelopes decoded from the network.")
+	m.droppedQueue = reg.Counter("bestpeer_transport_messages_dropped_total", dropHelp,
+		obs.L("reason", "queue-full"))
+	m.droppedSuspect = reg.Counter("bestpeer_transport_messages_dropped_total", dropHelp,
+		obs.L("reason", "suspect"))
+	m.droppedEncode = reg.Counter("bestpeer_transport_messages_dropped_total", dropHelp,
+		obs.L("reason", "encode"))
+	m.droppedDeliver = reg.Counter("bestpeer_transport_messages_dropped_total", dropHelp,
+		obs.L("reason", "deliver"))
+	m.redialsMetric = reg.Counter("bestpeer_transport_redials_total",
+		"Stale cached connections re-dialed.")
+	m.handlerPanicsMx = reg.Counter("bestpeer_transport_handler_panics_total",
+		"Handler invocations that panicked and were contained.")
+	m.loopPanicsMx = reg.Counter("bestpeer_transport_loop_panics_total",
+		"Messenger goroutines that panicked and were contained.")
+	m.dialSeconds = reg.Histogram("bestpeer_transport_dial_seconds",
+		"Outgoing connection dial latency.", obs.LatencyBuckets)
+	m.writeSeconds = reg.Histogram("bestpeer_transport_write_seconds",
+		"Envelope write latency on established connections.", obs.LatencyBuckets)
+	reg.GaugeFunc("bestpeer_transport_send_queue_depth",
+		"Envelopes currently queued across all destinations.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			depth := 0
+			for _, q := range m.outs {
+				depth += len(q.ch)
+			}
+			return float64(depth)
+		})
 }
 
 // containLoop is deferred at the top of every messenger goroutine so a
@@ -105,7 +182,7 @@ type Messenger struct {
 // this guards the messenger's own loop code.
 func (m *Messenger) containLoop() {
 	if r := recover(); r != nil {
-		m.loopPanics.Add(1)
+		m.loopPanicsMx.Inc()
 	}
 }
 
@@ -130,6 +207,7 @@ func NewMessengerOpts(network Network, addr string, handler func(*wire.Envelope)
 		ins:      make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
+	m.bindMetrics(m.opts.Metrics)
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return m, nil
@@ -139,25 +217,25 @@ func NewMessengerOpts(network Network, addr string, handler func(*wire.Envelope)
 func (m *Messenger) Addr() string { return m.listener.Addr().String() }
 
 // Sent returns how many envelopes were written to the network.
-func (m *Messenger) Sent() uint64 { return m.sent.Load() }
+func (m *Messenger) Sent() uint64 { return m.Stats().Sent }
 
 // Received returns how many envelopes were decoded from the network.
-func (m *Messenger) Received() uint64 { return m.received.Load() }
+func (m *Messenger) Received() uint64 { return m.Stats().Received }
 
 // Dropped returns how many outgoing envelopes were abandoned: queue
 // overflow, suspect destinations and delivery failures.
-func (m *Messenger) Dropped() uint64 { return m.dropped.Load() }
+func (m *Messenger) Dropped() uint64 { return m.Stats().Dropped }
 
 // Redials returns how many times a stale cached connection was re-dialed.
-func (m *Messenger) Redials() uint64 { return m.redials.Load() }
+func (m *Messenger) Redials() uint64 { return m.Stats().Redials }
 
 // HandlerPanics returns how many handler invocations panicked (each is
 // contained to its envelope; the reader goroutine survives).
-func (m *Messenger) HandlerPanics() uint64 { return m.handlerPanics.Load() }
+func (m *Messenger) HandlerPanics() uint64 { return m.Stats().HandlerPanics }
 
 // LoopPanics returns how many messenger goroutines panicked and were
 // contained. Anything above zero is a transport bug.
-func (m *Messenger) LoopPanics() uint64 { return m.loopPanics.Load() }
+func (m *Messenger) LoopPanics() uint64 { return m.Stats().LoopPanics }
 
 // Suspect reports whether the destination is currently in backoff.
 func (m *Messenger) Suspect(to string) bool {
@@ -213,7 +291,7 @@ func (m *Messenger) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
-		m.received.Add(1)
+		m.received.Inc()
 		if m.handler != nil {
 			m.invokeHandler(env)
 		}
@@ -225,7 +303,7 @@ func (m *Messenger) readLoop(conn net.Conn) {
 func (m *Messenger) invokeHandler(env *wire.Envelope) {
 	defer func() {
 		if r := recover(); r != nil {
-			m.handlerPanics.Add(1)
+			m.handlerPanicsMx.Inc()
 		}
 	}()
 	m.handler(env)
@@ -252,14 +330,14 @@ func (m *Messenger) Send(to string, env *wire.Envelope) error {
 	m.mu.Unlock()
 
 	if until, suspect := q.suspended(); suspect {
-		m.dropped.Add(1)
+		m.droppedSuspect.Inc()
 		return fmt.Errorf("%w: %s for another %v", ErrPeerSuspect, to, time.Until(until).Round(time.Millisecond))
 	}
 	select {
 	case q.ch <- env:
 		return nil
 	default:
-		m.dropped.Add(1)
+		m.droppedQueue.Inc()
 		return fmt.Errorf("%w: %s", ErrQueueFull, to)
 	}
 }
@@ -374,19 +452,19 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 	if _, suspect := q.suspended(); suspect {
 		// Enqueued before the destination went suspect; don't burn a
 		// dial timeout per queued message on a peer known to be bad.
-		q.m.dropped.Add(1)
+		q.m.droppedSuspect.Inc()
 		return
 	}
 	frame, err := wire.EncodeEnvelope(env)
 	if err != nil {
-		q.m.dropped.Add(1)
+		q.m.droppedEncode.Inc()
 		return
 	}
 	if q.conn == nil {
-		conn, err := DialTimeout(q.m.network, q.addr, q.m.opts.DialTimeout)
+		conn, err := q.dial()
 		if err != nil {
 			q.fail()
-			q.m.dropped.Add(1)
+			q.m.droppedDeliver.Inc()
 			return
 		}
 		q.conn = conn
@@ -395,11 +473,11 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 		// Stale cached connection (peer restarted): re-dial once.
 		_ = q.conn.Close() // already failing; the write error is the signal
 		q.conn = nil
-		q.m.redials.Add(1)
-		conn, derr := DialTimeout(q.m.network, q.addr, q.m.opts.DialTimeout)
+		q.m.redialsMetric.Inc()
+		conn, derr := q.dial()
 		if derr != nil {
 			q.fail()
-			q.m.dropped.Add(1)
+			q.m.droppedDeliver.Inc()
 			return
 		}
 		q.conn = conn
@@ -407,12 +485,20 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 			_ = q.conn.Close() // already failing; the write error is the signal
 			q.conn = nil
 			q.fail()
-			q.m.dropped.Add(1)
+			q.m.droppedDeliver.Inc()
 			return
 		}
 	}
 	q.succeed()
-	q.m.sent.Add(1)
+	q.m.sent.Inc()
+}
+
+// dial opens a connection to the destination, recording dial latency.
+func (q *sendQueue) dial() (net.Conn, error) {
+	start := time.Now()
+	conn, err := DialTimeout(q.m.network, q.addr, q.m.opts.DialTimeout)
+	q.m.dialSeconds.ObserveDuration(time.Since(start))
+	return conn, err
 }
 
 // write puts one whole frame on the wire under the write deadline. A
@@ -422,6 +508,8 @@ func (q *sendQueue) write(frame []byte) error {
 	if wt := q.m.opts.WriteTimeout; wt > 0 {
 		q.conn.SetWriteDeadline(time.Now().Add(wt))
 	}
+	start := time.Now()
 	_, err := q.conn.Write(frame)
+	q.m.writeSeconds.ObserveDuration(time.Since(start))
 	return err
 }

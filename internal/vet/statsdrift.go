@@ -1,0 +1,130 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// statsdrift flags atomic counter fields that a struct's snapshot method
+// never reads. The observability migration (DESIGN.md §7) made every
+// counter reach the metrics surface through a `Stats()`/`Snapshot()`
+// view; a counter field that the view forgets to read is incremented
+// forever and exported never — exactly the silent drift this rule
+// catches before it ships.
+//
+// The rule: for every struct declaring a `Stats` or `Snapshot` method,
+// each field of a sync/atomic counter type (Uint32/Uint64/Int32/Int64)
+// must be read somewhere in that method, directly or through
+// same-package functions it calls.
+type statsdrift struct{}
+
+func (statsdrift) Name() string { return "statsdrift" }
+func (statsdrift) Doc() string {
+	return "atomic counter field not read by the struct's Stats()/Snapshot() method (silently unexported counter)"
+}
+
+func (statsdrift) Run(p *Pass) {
+	decls := packageFuncDecls(p)
+
+	// Snapshot methods, grouped by receiver type.
+	snapshots := make(map[*types.Named][]*ast.FuncDecl)
+	for obj, fd := range decls {
+		if obj.Name() != "Stats" && obj.Name() != "Snapshot" {
+			continue
+		}
+		recv := obj.Type().(*types.Signature).Recv()
+		if recv == nil {
+			continue
+		}
+		if named := namedFrom(recv.Type()); named != nil {
+			snapshots[named] = append(snapshots[named], fd)
+		}
+	}
+
+	for named, methods := range snapshots {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var counters []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); isAtomicCounter(f.Type()) {
+				counters = append(counters, f)
+			}
+		}
+		if len(counters) == 0 {
+			continue
+		}
+		read := fieldsReadBy(p, decls, methods)
+		for _, f := range counters {
+			if !read[f] {
+				p.Reportf(f.Pos(),
+					"atomic counter field %s.%s is not read by %s; the snapshot silently drops it",
+					named.Obj().Name(), f.Name(), snapshotNames(methods))
+			}
+		}
+	}
+}
+
+// snapshotNames renders the checked method set for the message.
+func snapshotNames(methods []*ast.FuncDecl) string {
+	out := ""
+	for i, m := range methods {
+		if i > 0 {
+			out += "/"
+		}
+		out += m.Name.Name + "()"
+	}
+	return out
+}
+
+// isAtomicCounter reports whether t is one of sync/atomic's scalar
+// counter types.
+func isAtomicCounter(t types.Type) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Uint32", "Uint64", "Int32", "Int64":
+		return true
+	}
+	return false
+}
+
+// fieldsReadBy collects every struct field selected inside the given
+// methods, following calls into same-package functions (a snapshot
+// method may delegate the actual reads to a helper).
+func fieldsReadBy(p *Pass, decls map[*types.Func]*ast.FuncDecl, roots []*ast.FuncDecl) map[*types.Var]bool {
+	read := make(map[*types.Var]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	queue := append([]*ast.FuncDecl(nil), roots...)
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if visited[fd] || fd.Body == nil {
+			continue
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						read[v] = true
+					}
+				}
+			case *ast.CallExpr:
+				if callee := resolveFuncDecl(p, decls, e.Fun); callee != nil {
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+	return read
+}

@@ -1,0 +1,61 @@
+// Package statsdrift is a bpvet golden-test fixture.
+package statsdrift
+
+import "sync/atomic"
+
+// view is the snapshot shape the fixture methods return.
+type view struct {
+	Sent    uint64
+	Dropped uint64
+}
+
+// good: every atomic counter is read by Stats.
+type goodStats struct {
+	sent    atomic.Uint64
+	dropped atomic.Uint64
+	name    string // non-counter fields are not checked
+}
+
+func (g *goodStats) Stats() view {
+	return view{Sent: g.sent.Load(), Dropped: g.dropped.Load()}
+}
+
+// bad: Stats forgets one counter.
+type badStats struct {
+	sent    atomic.Uint64
+	dropped atomic.Uint64 // want `atomic counter field badStats\.dropped is not read by Stats\(\)`
+}
+
+func (b *badStats) Stats() view {
+	return view{Sent: b.sent.Load()}
+}
+
+// Snapshot is held to the same rule as Stats.
+type badSnapshot struct {
+	hits   atomic.Int64 // want `atomic counter field badSnapshot\.hits is not read by Snapshot\(\)`
+	misses atomic.Int64
+}
+
+func (s *badSnapshot) Snapshot() view {
+	return view{Sent: uint64(s.misses.Load())}
+}
+
+// good: reads that happen through a same-package helper still count.
+type helperStats struct {
+	sent    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+func (h *helperStats) Stats() view { return h.collect() }
+
+func (h *helperStats) collect() view {
+	return view{Sent: h.sent.Load(), Dropped: h.dropped.Load()}
+}
+
+// good: a struct without a snapshot method is out of scope, however it
+// uses its counters.
+type freeCounter struct {
+	loose atomic.Uint64
+}
+
+func (f *freeCounter) Bump() { f.loose.Add(1) }

@@ -83,6 +83,7 @@ func All() []Analyzer {
 		busypoll{},
 		droppederr{},
 		ttlpair{},
+		statsdrift{},
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Codec errors.
@@ -40,6 +41,12 @@ func EncodeEnvelope(e *Envelope) ([]byte, error) {
 	if !e.Kind.Valid() {
 		return nil, fmt.Errorf("%w: invalid kind %d", ErrBadFrame, e.Kind)
 	}
+	if e.Trace != nil && len(encodeTraceContext(e.Trace)) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: trace extension too large", ErrBadFrame)
+	}
+	if e.Span != nil && len(encodeTraceSpan(e.Span)) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: span extension too large", ErrBadFrame)
+	}
 	raw := encodeBody(e)
 
 	var flags byte
@@ -70,9 +77,23 @@ func EncodeEnvelope(e *Envelope) ([]byte, error) {
 	return out, nil
 }
 
-// encodeBody lays out the envelope fields in a fixed order.
+// Extension field tags. Extensions are appended after the body as
+// (uint8 tag | uint16 length | payload) records — a versioned growth
+// point: an envelope with no extensions encodes byte-identically to the
+// original format, and decoders skip tags they do not recognize, so an
+// old encoder's frames parse under a new decoder and vice versa.
+const (
+	extTrace = 1 // TraceContext: per-query trace context
+	extSpan  = 2 // TraceSpan: piggybacked hop record
+)
+
+// extHeaderSize is the fixed overhead of one extension record.
+const extHeaderSize = 1 + 2
+
+// encodeBody lays out the envelope fields in a fixed order, followed by
+// any extension records.
 func encodeBody(e *Envelope) []byte {
-	n := envelopeHeaderSize + len(e.From) + len(e.To) + len(e.Body)
+	n := e.WireSize()
 	buf := make([]byte, 0, n)
 	buf = append(buf, byte(e.Kind), e.TTL, e.Hops)
 	buf = append(buf, e.ID[:]...)
@@ -82,7 +103,20 @@ func encodeBody(e *Envelope) []byte {
 	buf = append(buf, e.To...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Body)))
 	buf = append(buf, e.Body...)
+	if e.Trace != nil {
+		buf = appendExt(buf, extTrace, encodeTraceContext(e.Trace))
+	}
+	if e.Span != nil {
+		buf = appendExt(buf, extSpan, encodeTraceSpan(e.Span))
+	}
 	return buf
+}
+
+// appendExt writes one (tag | length | payload) extension record.
+func appendExt(buf []byte, tag uint8, payload []byte) []byte {
+	buf = append(buf, tag)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(payload)))
+	return append(buf, payload...)
 }
 
 // decodeBody parses the fixed layout produced by encodeBody.
@@ -122,11 +156,43 @@ func decodeBody(raw []byte) (*Envelope, error) {
 	}
 	bn := int(binary.BigEndian.Uint32(raw[p:]))
 	p += 4
-	if len(raw)-p != bn {
+	if len(raw)-p < bn {
 		return nil, fmt.Errorf("%w: body length %d, have %d", ErrBadFrame, bn, len(raw)-p)
 	}
 	if bn > 0 {
-		e.Body = append([]byte(nil), raw[p:]...)
+		e.Body = append([]byte(nil), raw[p:p+bn]...)
+	}
+	p += bn
+	// Anything after the body is extension records. Unknown tags are
+	// skipped so older encoders' frames and future fields both parse.
+	for p < len(raw) {
+		if len(raw)-p < extHeaderSize {
+			return nil, fmt.Errorf("%w: truncated extension header", ErrBadFrame)
+		}
+		tag := raw[p]
+		en := int(binary.BigEndian.Uint16(raw[p+1:]))
+		p += extHeaderSize
+		if len(raw)-p < en {
+			return nil, fmt.Errorf("%w: extension %d truncated", ErrBadFrame, tag)
+		}
+		payload := raw[p : p+en]
+		p += en
+		switch tag {
+		case extTrace:
+			tc, err := decodeTraceContext(payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: trace extension: %v", ErrBadFrame, err)
+			}
+			e.Trace = tc
+		case extSpan:
+			s, err := decodeTraceSpan(payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: span extension: %v", ErrBadFrame, err)
+			}
+			e.Span = s
+		default:
+			// Unknown extension: tolerated and dropped.
+		}
 	}
 	return e, nil
 }

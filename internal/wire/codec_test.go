@@ -298,4 +298,204 @@ func TestWireSizeMatchesEncodedOrder(t *testing.T) {
 	if got, want := e.WireSize(), envelopeHeaderSize+len(e.From)+len(e.To)+len(e.Body); got != want {
 		t.Fatalf("WireSize = %d, want %d", got, want)
 	}
+	e.Trace = &TraceContext{QueryID: NewMsgID(), Base: "base:1"}
+	e.Span = &TraceSpan{Peer: "p:2", Hop: 3}
+	if got, want := e.WireSize(), len(encodeBody(e)); got != want {
+		t.Fatalf("WireSize with extensions = %d, encoded body = %d", got, want)
+	}
+}
+
+// --- trace extension coverage ---
+
+func sampleTracedEnvelope() *Envelope {
+	e := sampleEnvelope()
+	e.Trace = &TraceContext{QueryID: NewMsgID(), Base: "base-node:4000"}
+	e.Span = &TraceSpan{
+		Peer: "node-b:4002", Parent: "node-a:4001", Hop: 2,
+		WaitNS: 1500, ExecNS: 420000, Matches: 3, FanOut: 4,
+	}
+	return e
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	e := sampleTracedEnvelope()
+	frame, err := EncodeEnvelope(e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("traced round trip mismatch:\n have %+v\n want %+v", got, e)
+	}
+	// Trace-only and span-only envelopes round-trip too.
+	e = sampleEnvelope()
+	e.Trace = &TraceContext{QueryID: NewMsgID(), Base: "b:1"}
+	frame, _ = EncodeEnvelope(e)
+	if got, _ = DecodeEnvelope(frame); !reflect.DeepEqual(e, got) {
+		t.Fatalf("trace-only mismatch: %+v", got)
+	}
+	e = sampleEnvelope()
+	e.Span = &TraceSpan{Peer: "p:9", Hop: 1, Drop: "duplicate"}
+	frame, _ = EncodeEnvelope(e)
+	if got, _ = DecodeEnvelope(frame); !reflect.DeepEqual(e, got) {
+		t.Fatalf("span-only mismatch: %+v", got)
+	}
+}
+
+// TestTracelessFrameMatchesLegacyLayout pins backward compatibility: an
+// envelope without trace fields must encode byte-identically to the
+// pre-extension format, so frames from this encoder parse under
+// decoders that predate extensions.
+func TestTracelessFrameMatchesLegacyLayout(t *testing.T) {
+	e := sampleEnvelope()
+	legacy := make([]byte, 0, 64)
+	legacy = append(legacy, byte(e.Kind), e.TTL, e.Hops)
+	legacy = append(legacy, e.ID[:]...)
+	legacy = binary.BigEndian.AppendUint16(legacy, uint16(len(e.From)))
+	legacy = append(legacy, e.From...)
+	legacy = binary.BigEndian.AppendUint16(legacy, uint16(len(e.To)))
+	legacy = append(legacy, e.To...)
+	legacy = binary.BigEndian.AppendUint32(legacy, uint32(len(e.Body)))
+	legacy = append(legacy, e.Body...)
+	if !bytes.Equal(encodeBody(e), legacy) {
+		t.Fatal("traceless envelope no longer matches the legacy layout")
+	}
+}
+
+// TestUnknownExtensionTolerated pins forward compatibility: a frame
+// carrying an extension tag this decoder does not know must still parse,
+// with the unknown field dropped.
+func TestUnknownExtensionTolerated(t *testing.T) {
+	e := sampleTracedEnvelope()
+	raw := encodeBody(e)
+	raw = appendExt(raw, 250, []byte("from-the-future"))
+	raw = appendExt(raw, 251, nil) // empty unknown extension
+
+	frame := make([]byte, 0, len(raw)+5)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(raw)+1))
+	frame = append(frame, 0) // no compression
+	frame = append(frame, raw...)
+
+	got, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("decode with unknown extensions: %v", err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("known fields corrupted by unknown extensions:\n have %+v\n want %+v", got, e)
+	}
+}
+
+func TestTruncatedExtensionRejected(t *testing.T) {
+	e := sampleTracedEnvelope()
+	raw := encodeBody(e)
+	fixed := len(encodeBody(sampleEnvelopeFrom(e)))
+	// Cuts landing exactly on a record boundary are complete (shorter)
+	// frames — extensions are optional — so only mid-record cuts must
+	// be rejected.
+	boundary := map[int]bool{
+		fixed + extHeaderSize + len(encodeTraceContext(e.Trace)): true,
+	}
+	for cut := fixed + 1; cut < len(raw); cut++ {
+		if boundary[cut] {
+			continue
+		}
+		frame := make([]byte, 0, cut+5)
+		frame = binary.BigEndian.AppendUint32(frame, uint32(cut+1))
+		frame = append(frame, 0)
+		frame = append(frame, raw[:cut]...)
+		if _, err := DecodeEnvelope(frame); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("cut=%d: want ErrBadFrame, got %v", cut, err)
+		}
+	}
+}
+
+// sampleEnvelopeFrom strips the trace fields so tests can measure where
+// the fixed layout ends and extensions begin.
+func sampleEnvelopeFrom(e *Envelope) *Envelope {
+	cp := *e
+	cp.Trace = nil
+	cp.Span = nil
+	return &cp
+}
+
+func TestCorruptExtensionPayloadRejected(t *testing.T) {
+	e := sampleEnvelope()
+	raw := encodeBody(e)
+	// A trace extension whose payload is garbage must fail parsing, not
+	// be silently accepted.
+	raw = appendExt(raw, extTrace, []byte{0x01})
+	frame := make([]byte, 0, len(raw)+5)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(raw)+1))
+	frame = append(frame, 0)
+	frame = append(frame, raw...)
+	if _, err := DecodeEnvelope(frame); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want ErrBadFrame for corrupt trace payload, got %v", err)
+	}
+}
+
+func TestOversizeExtensionRejected(t *testing.T) {
+	e := sampleEnvelope()
+	e.Trace = &TraceContext{QueryID: NewMsgID(), Base: strings.Repeat("x", 1<<16)}
+	if _, err := EncodeEnvelope(e); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want ErrBadFrame for oversize trace, got %v", err)
+	}
+	e = sampleEnvelope()
+	e.Span = &TraceSpan{Peer: strings.Repeat("y", 1<<16)}
+	if _, err := EncodeEnvelope(e); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want ErrBadFrame for oversize span, got %v", err)
+	}
+}
+
+func TestForwardedSharesTraceContext(t *testing.T) {
+	e := sampleTracedEnvelope()
+	f := e.Forwarded("b", "c")
+	if f.Trace != e.Trace {
+		t.Fatal("Forwarded must share the trace context")
+	}
+}
+
+// Property: traced envelopes round-trip exactly for arbitrary span
+// field values, including negative-looking values in varint fields.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(base, peer, parent, drop string, hop int16, waitNS, execNS int64, matches, fanOut int16) bool {
+		if len(base) > 1<<10 {
+			base = base[:1<<10]
+		}
+		e := sampleEnvelope()
+		e.Trace = &TraceContext{QueryID: NewMsgID(), Base: base}
+		e.Span = &TraceSpan{
+			Peer: peer, Parent: parent, Hop: int(hop),
+			WaitNS: waitNS, ExecNS: execNS,
+			Matches: int(matches), FanOut: int(fanOut), Drop: drop,
+		}
+		frame, err := EncodeEnvelope(e)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeEnvelope(frame)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(e, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMsgID(t *testing.T) {
+	id := NewMsgID()
+	got, err := ParseMsgID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("ParseMsgID round trip: %v, %v", got, err)
+	}
+	if _, err := ParseMsgID("zz"); err == nil {
+		t.Fatal("non-hex id must be rejected")
+	}
+	if _, err := ParseMsgID("abcd"); err == nil {
+		t.Fatal("short id must be rejected")
+	}
 }

@@ -41,6 +41,9 @@ const (
 	KindLigloPeers     // request a fresh peer list
 	KindLigloPeersList // peer list reply
 
+	// Observability protocol.
+	KindSpan // standalone trace span report sent to the trace base
+
 	kindSentinel // keep last
 )
 
@@ -68,6 +71,7 @@ var kindNames = [...]string{
 	KindLigloProbe:     "liglo-probe",
 	KindLigloPeers:     "liglo-peers",
 	KindLigloPeersList: "liglo-peers-list",
+	KindSpan:           "span",
 }
 
 // String returns the symbolic name of the kind.
@@ -93,14 +97,23 @@ type Envelope struct {
 	From string // transport address of the immediate sender
 	To   string // transport address of the immediate receiver
 	Body []byte // protocol payload, encoded by the codec helpers
+
+	// Trace, when non-nil, is the per-query trace context this message
+	// carries. Span, when non-nil, is a hop record piggybacked for the
+	// trace's base node. Both travel as optional codec extensions: an
+	// envelope without them is encoded byte-identically to the original
+	// format, and decoders skip extension fields they do not know.
+	Trace *TraceContext
+	Span  *TraceSpan
 }
 
 // Expired reports whether the envelope's lifetime is exhausted.
 func (e *Envelope) Expired() bool { return e.TTL == 0 }
 
 // Forwarded returns a copy of the envelope adjusted for one forwarding
-// step: TTL decremented, Hops incremented, From/To rewritten. The body is
-// shared, not copied; forwarding must not mutate it.
+// step: TTL decremented, Hops incremented, From/To rewritten. The body
+// and trace context are shared, not copied; forwarding must not mutate
+// them.
 func (e *Envelope) Forwarded(from, to string) *Envelope {
 	cp := *e
 	if cp.TTL > 0 {
@@ -115,7 +128,14 @@ func (e *Envelope) Forwarded(from, to string) *Envelope {
 // WireSize returns the approximate number of bytes the envelope occupies on
 // the wire before compression. The simulator uses it to charge bandwidth.
 func (e *Envelope) WireSize() int {
-	return envelopeHeaderSize + len(e.From) + len(e.To) + len(e.Body)
+	n := envelopeHeaderSize + len(e.From) + len(e.To) + len(e.Body)
+	if e.Trace != nil {
+		n += extHeaderSize + len(encodeTraceContext(e.Trace))
+	}
+	if e.Span != nil {
+		n += extHeaderSize + len(encodeTraceSpan(e.Span))
+	}
+	return n
 }
 
 // envelopeHeaderSize is the fixed overhead of an encoded envelope: kind,

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -13,6 +14,13 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		From: "a:1", To: "b:2", Body: []byte("payload"),
 	})
 	f.Add(good)
+	traced, _ := EncodeEnvelope(&Envelope{
+		Kind: KindResult, ID: NewMsgID(), TTL: 3, Hops: 2,
+		From: "b:2", To: "base:1", Body: []byte("answers"),
+		Trace: &TraceContext{QueryID: NewMsgID(), Base: "base:1"},
+		Span:  &TraceSpan{Peer: "b:2", Parent: "a:1", Hop: 2, WaitNS: 100, ExecNS: 2000, Matches: 1, FanOut: 3},
+	})
+	f.Add(traced)
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 1, 0})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
@@ -32,6 +40,9 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		}
 		if back.Kind != env.Kind || back.ID != env.ID || !bytes.Equal(back.Body, env.Body) {
 			t.Fatal("re-encode round trip changed the envelope")
+		}
+		if !reflect.DeepEqual(back.Trace, env.Trace) || !reflect.DeepEqual(back.Span, env.Span) {
+			t.Fatal("re-encode round trip changed the trace extensions")
 		}
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync/atomic"
 )
@@ -40,6 +41,41 @@ func (id MsgID) IsZero() bool { return id == MsgID{} }
 
 // String renders the identifier as lowercase hex.
 func (id MsgID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalJSON renders the ID in its hex string form, so JSON payloads
+// (query traces, the admin endpoint) show the same identifier the
+// shell and the logs print — not a 16-element byte array.
+func (id MsgID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + id.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the hex form produced by MarshalJSON.
+func (id *MsgID) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("wire: bad message id: %w", err)
+	}
+	parsed, err := ParseMsgID(s)
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// ParseMsgID parses the hex form produced by String.
+func ParseMsgID(s string) (MsgID, error) {
+	var id MsgID
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("wire: bad message id: %w", err)
+	}
+	if len(b) != len(id) {
+		return id, fmt.Errorf("wire: bad message id length %d", len(b))
+	}
+	copy(id[:], b)
+	return id, nil
+}
 
 // BPID is a BestPeer global identity: a (LIGLOID, NodeID) pair. LIGLOID is
 // the address of the issuing LIGLO server and NodeID is unique only with

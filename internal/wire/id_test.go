@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMsgIDJSONRoundTrip pins the hex-string JSON form: traces and
+// admin payloads must show the identifier the shell prints.
+func TestMsgIDJSONRoundTrip(t *testing.T) {
+	id := NewMsgID()
+	data, err := json.Marshal(id)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if want := `"` + id.String() + `"`; string(data) != want {
+		t.Fatalf("marshal = %s, want %s", data, want)
+	}
+	var back MsgID
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != id {
+		t.Fatalf("round trip changed the id: %v != %v", back, id)
+	}
+}
+
+// TestMsgIDJSONRejectsBadForms covers the error paths.
+func TestMsgIDJSONRejectsBadForms(t *testing.T) {
+	for _, bad := range []string{`42`, `"xyz"`, `"abcd"`, `[1,2]`} {
+		var id MsgID
+		if err := json.Unmarshal([]byte(bad), &id); err == nil {
+			t.Errorf("unmarshal %s did not fail", bad)
+		}
+	}
+}
