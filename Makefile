@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos fuzz cover adminsmoke ci clean
+.PHONY: all build vet lint test race chaos fuzz cover adminsmoke bench ci clean
 
 all: build vet lint test
 
@@ -49,11 +49,20 @@ cover:
 	$(GO) test -covermode=atomic -coverprofile=$(COVERPROFILE) ./...
 	@$(GO) tool cover -func=$(COVERPROFILE) | tail -1
 
-# End-to-end smoke of the node admin endpoint: boots the daemon stack
-# with -admin semantics and scrapes /metrics, /healthz and a query
-# trace over real HTTP.
+# End-to-end smoke of the observability surfaces: boots the daemon stack
+# with -admin semantics and scrapes /metrics, /healthz and a query trace
+# over real HTTP, then boots two nodes plus the fleet observatory and
+# scrapes the merged fleet snapshot the same way.
 adminsmoke:
 	$(GO) test -race -count=1 -run 'TestAdminEndpointSmoke' ./cmd/bestpeer/
+	$(GO) test -race -count=1 -run 'TestFleetObservatorySmoke' ./cmd/bpobs/
+
+# Machine-readable benchmark report: every simulated figure plus the
+# reconfiguration-convergence timelines, as committed in BENCH_PR4.json
+# and uploaded as a CI artifact.
+BENCHJSON ?= BENCH_PR4.json
+bench:
+	$(GO) run ./cmd/bpbench -fig all -json $(BENCHJSON)
 
 ci: build vet lint race fuzz adminsmoke cover
 

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -57,8 +58,14 @@ func main() {
 	index := flag.Bool("index", false, "maintain a persistent inverted keyword index")
 	wal := flag.String("wal", "", "write-ahead log path (empty disables)")
 	walSync := flag.Bool("wal-sync", false, "fsync the WAL on every operation")
-	admin := flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /queries, pprof) on this address; ':port' binds loopback only; empty disables")
+	admin := flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /queries, /events, pprof) on this address; ':port' binds loopback only; empty disables")
+	logLevel := flag.String("log-level", "", "mirror structured events to stderr at this level: debug, info, warn, error; empty disables")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		log.Fatalf("bestpeer: %v", err)
+	}
 
 	store, err := storm.Open(*storePath, storm.Options{
 		BufferFrames:      *frames,
@@ -81,6 +88,7 @@ func main() {
 		DefaultTTL:  uint8(*ttl),
 		Strategy:    reconfig.ByName(*strategy),
 		AccessLevel: *access,
+		Logger:      logger,
 	})
 	if err != nil {
 		log.Fatalf("bestpeer: start node: %v", err)
@@ -107,6 +115,29 @@ func main() {
 	}
 
 	shell(node, store)
+}
+
+// newLogger maps the -log-level flag to a stderr slog handler; the node
+// mirrors every journalled event through it. Empty means silent (nil
+// logger; the node defaults to a discard handler).
+func newLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 func shell(node *core.Node, store *storm.Store) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|5a|5b|5c|6|7|8a|8b|ablations] [-seed N] [-live] [-json FILE]
+//	bpbench [-fig all|5a|5b|5c|6|7|8a|8b|ablations|convergence] [-seed N] [-live] [-json FILE]
 //
 // With -json the same data is also written as a machine-readable report;
 // live runs include a metrics section snapshotted from the node
@@ -63,7 +63,7 @@ func runLive(seed int64, report *bench.Report) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 5a, 5b, 5c, 6, 7, 8a, 8b, ablations")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 5a, 5b, 5c, 6, 7, 8a, 8b, ablations, convergence")
 	seed := flag.Int64("seed", 1, "workload seed")
 	live := flag.Bool("live", false, "also run a miniature live-stack comparison")
 	jsonPath := flag.String("json", "", "also write a machine-readable report (e.g. BENCH_1.json)")
@@ -76,11 +76,19 @@ func main() {
 		report.Figures = append(report.Figures, f)
 	}
 
+	// runConvergence renders the convergence figure and records the full
+	// per-strategy event timelines (scores, overlay edits) in the report.
+	runConvergence := func() {
+		run(bench.FigConvergence(cost, *seed))
+		report.Convergence = bench.Convergence(cost, *seed)
+	}
+
 	switch *fig {
 	case "all":
 		for _, f := range bench.AllFigures(cost, *seed) {
 			run(f)
 		}
+		runConvergence()
 	case "5a":
 		run(bench.Fig5a(cost, *seed))
 	case "5b":
@@ -101,6 +109,8 @@ func main() {
 		run(bench.AblationColdClass(cost, *seed))
 		run(bench.AblationResultMode(cost, *seed))
 		run(bench.AblationShipping(cost, *seed))
+	case "convergence":
+		runConvergence()
 	case "traffic":
 		run(bench.TrafficTable(cost, *seed))
 	default:

@@ -1,0 +1,98 @@
+// Command bpobs runs the BestPeer fleet observatory: it scrapes the
+// admin endpoints of a set of member nodes (their /metrics.json,
+// /healthz, /peers and /events journals), merges the event streams into
+// a fleet-wide snapshot, and serves the result:
+//
+//	/fleet              the full snapshot (per-node views + merged events)
+//	/fleet/topology     the overlay graph, node -> direct peers
+//	/fleet/convergence  the reconfiguration-convergence timeline
+//	/fleet/trace/<id>   cross-node trace assembly for one query
+//
+// Event cursors persist across scrapes, so each poll transfers only new
+// events; journal overflow on a member shows up as a per-member missed
+// count, never as silently absent history.
+//
+// Usage:
+//
+//	bpobs -members 127.0.0.1:9090,127.0.0.1:9091 [-serve :8099]
+//	      [-interval 5s] [-once]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bestpeer/internal/observatory"
+)
+
+func main() {
+	members := flag.String("members", "", "comma-separated member admin addresses to scrape")
+	serve := flag.String("serve", "", "serve the observatory on this address; ':port' binds loopback only; empty picks a loopback port")
+	interval := flag.Duration("interval", 0, "background scrape interval (0 = scrape only on request)")
+	once := flag.Bool("once", false, "scrape once, print the fleet snapshot as JSON, and exit")
+	flag.Parse()
+
+	if *members == "" {
+		log.Fatal("bpobs: -members is required (comma-separated admin addresses)")
+	}
+	var addrs []string
+	for _, m := range strings.Split(*members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			addrs = append(addrs, m)
+		}
+	}
+	col := observatory.NewCollector(addrs...)
+
+	if *once {
+		snap := col.Scrape()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			log.Fatalf("bpobs: encode snapshot: %v", err)
+		}
+		return
+	}
+
+	srv, err := observatory.StartServer(*serve, col)
+	if err != nil {
+		log.Fatalf("bpobs: %v", err)
+	}
+	log.Printf("bpobs: observing %d members on http://%s/fleet", len(addrs), srv.Addr())
+
+	stop := make(chan struct{})
+	if *interval > 0 {
+		go scrapeLoop(col, *interval, stop)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	snap := col.Snapshot()
+	log.Printf("bpobs: shutting down with %d events collected, %d missed", len(snap.Events), snap.Missed)
+	if err := srv.Close(); err != nil {
+		log.Fatalf("bpobs: close: %v", err)
+	}
+}
+
+// scrapeLoop polls the fleet so the journal cursors keep pace with the
+// members' ring buffers even when nobody is hitting the HTTP endpoints.
+func scrapeLoop(col *observatory.Collector, every time.Duration, stop <-chan struct{}) {
+	defer func() { recover() }() // a crashed poller must not take the observatory down
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			col.Scrape()
+		case <-stop:
+			return
+		}
+	}
+}

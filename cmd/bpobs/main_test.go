@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bestpeer/internal/agent"
+	"bestpeer/internal/core"
+	"bestpeer/internal/observatory"
+	"bestpeer/internal/storm"
+	"bestpeer/internal/transport"
+)
+
+// TestFleetObservatorySmoke is the ci-target smoke test for bpobs: it
+// boots the same stack main() observes — two TCP nodes with admin
+// endpoints — points an observatory at them, and scrapes the fleet
+// snapshot over real HTTP. The topology must contain both members.
+func TestFleetObservatorySmoke(t *testing.T) {
+	nodes := make([]*core.Node, 2)
+	admins := make([]string, 2)
+	for i := range nodes {
+		store, err := storm.Open(filepath.Join(t.TempDir(), fmt.Sprintf("obs%d.storm", i)), storm.Options{})
+		if err != nil {
+			t.Fatalf("open store: %v", err)
+		}
+		if _, err := store.Put(&storm.Object{
+			Name: fmt.Sprintf("smoke-%d.txt", i), Keywords: []string{"smoke"}, Data: []byte("hello"),
+		}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		node, err := core.NewNode(core.Config{
+			Network:    transport.TCP{},
+			ListenAddr: "127.0.0.1:0",
+			Store:      store,
+			MaxPeers:   5,
+			DefaultTTL: 7,
+		})
+		if err != nil {
+			t.Fatalf("start node: %v", err)
+		}
+		srv, err := node.ServeAdmin("")
+		if err != nil {
+			t.Fatalf("serve admin: %v", err)
+		}
+		nodes[i] = node
+		admins[i] = srv.Addr()
+		t.Cleanup(func() {
+			node.Close()
+			store.Close()
+		})
+	}
+	nodes[0].SetPeers([]core.Peer{{Addr: nodes[1].Addr()}})
+	nodes[1].SetPeers([]core.Peer{{Addr: nodes[0].Addr()}})
+
+	res, err := nodes[0].Query(&agent.KeywordAgent{Query: "smoke"},
+		core.QueryOptions{Timeout: time.Second, WaitAnswers: 2})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+
+	srv, err := observatory.StartServer("", observatory.NewCollector(admins...))
+	if err != nil {
+		t.Fatalf("start observatory: %v", err)
+	}
+	defer srv.Close()
+
+	var snap observatory.FleetSnapshot
+	getJSON(t, "http://"+srv.Addr()+"/fleet", &snap)
+	if len(snap.Nodes) != 2 {
+		t.Fatalf("/fleet reports %d nodes, want 2", len(snap.Nodes))
+	}
+	for _, v := range snap.Nodes {
+		if v.Err != "" {
+			t.Fatalf("member %s scrape error: %s", v.Admin, v.Err)
+		}
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("/fleet collected no events")
+	}
+
+	var topo map[string][]string
+	getJSON(t, "http://"+srv.Addr()+"/fleet/topology", &topo)
+	for i, node := range nodes {
+		peers, ok := topo[node.Addr()]
+		if !ok {
+			t.Fatalf("topology is missing member %d (%s): %v", i, node.Addr(), topo)
+		}
+		if len(peers) != 1 || peers[0] != nodes[1-i].Addr() {
+			t.Fatalf("member %d peers = %v, want [%s]", i, peers, nodes[1-i].Addr())
+		}
+	}
+
+	var rounds []observatory.Round
+	getJSON(t, "http://"+srv.Addr()+"/fleet/convergence", &rounds)
+	if len(rounds) != 1 || rounds[0].Query != res.ID.String() {
+		t.Fatalf("/fleet/convergence = %+v, want the one issued query", rounds)
+	}
+
+	var trace observatory.FleetTrace
+	getJSON(t, "http://"+srv.Addr()+"/fleet/trace/"+res.ID.String(), &trace)
+	if trace.Base != nodes[0].Addr() || len(trace.Spans) == 0 {
+		t.Fatalf("/fleet/trace = %+v, want spans rooted at %s", trace, nodes[0].Addr())
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: decode: %v\n%s", url, err, body)
+	}
+}

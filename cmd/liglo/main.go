@@ -6,17 +6,21 @@
 // Usage:
 //
 //	liglo [-addr host:port] [-capacity N] [-peers N] [-probe 30s]
+//	      [-admin 127.0.0.1:9091] [-log-level info]
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"bestpeer/internal/liglo"
+	"bestpeer/internal/obs"
 	"bestpeer/internal/transport"
 )
 
@@ -25,18 +29,47 @@ func main() {
 	capacity := flag.Int("capacity", 0, "maximum members (0 = unlimited)")
 	peers := flag.Int("peers", 5, "initial direct peers handed to a new registrant")
 	probe := flag.Duration("probe", 30*time.Second, "liveness validation interval (0 disables)")
+	admin := flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /events, pprof) on this address; ':port' binds loopback only; empty disables")
+	logLevel := flag.String("log-level", "", "mirror member-liveness events to stderr at this level: debug, info, warn, error; empty disables")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		log.Fatalf("liglo: %v", err)
+	}
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(*addr, 0)
+	if logger != nil {
+		journal.SetLogger(logger)
+	}
 
 	srv, err := liglo.NewServer(transport.TCP{}, *addr, liglo.ServerConfig{
 		Capacity:      *capacity,
 		InitialPeers:  *peers,
 		ProbeInterval: *probe,
+		Metrics:       reg,
+		Journal:       journal,
 	})
 	if err != nil {
 		log.Fatalf("liglo: %v", err)
 	}
 	log.Printf("liglo: serving on %s (capacity=%d, initial peers=%d)",
 		srv.Addr(), *capacity, *peers)
+	journal.SetNode(srv.Addr())
+
+	if *admin != "" {
+		asrv, err := obs.StartAdmin(*admin, obs.AdminConfig{
+			Registry: reg,
+			Journal:  journal,
+			Health: func() any {
+				return map[string]any{"status": "ok", "addr": srv.Addr(), "members": srv.Members()}
+			},
+		})
+		if err != nil {
+			log.Fatalf("liglo: admin endpoint: %v", err)
+		}
+		log.Printf("liglo: admin endpoint on http://%s/metrics", asrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -45,4 +78,27 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Fatalf("liglo: close: %v", err)
 	}
+}
+
+// newLogger maps the -log-level flag to a stderr slog handler; the
+// journal mirrors every member-liveness event through it. Empty means
+// silent.
+func newLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }

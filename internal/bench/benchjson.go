@@ -15,6 +15,9 @@ type Report struct {
 	Seed    int64        `json:"seed"`
 	Figures []*Figure    `json:"figures,omitempty"`
 	Live    []*SchemeRun `json:"live,omitempty"`
+	// Convergence holds the per-strategy reconfiguration timelines when
+	// the convergence figure was requested.
+	Convergence []*StrategyTimeline `json:"convergence,omitempty"`
 }
 
 // SchemeRun is one strategy's live-stack run.

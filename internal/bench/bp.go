@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bestpeer/internal/netsim"
+	"bestpeer/internal/obs"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/topology"
 	"bestpeer/internal/wire"
@@ -31,6 +32,14 @@ type bpSim struct {
 	events  []Event
 	baseAt  string
 	started time.Duration
+
+	// journal, when set, receives the base node's structured events —
+	// the same pipeline a live node feeds — so the convergence timeline
+	// is assembled from events, not from simulator internals. qid is the
+	// current round's query id; strategyName tags query-issued events.
+	journal      *obs.Journal
+	qid          string
+	strategyName string
 }
 
 // resultBody encodes (hits, origin node) for simulated result messages.
@@ -103,6 +112,13 @@ func (b *bpSim) handle(node int, env *wire.Envelope) {
 					Answers: hits,
 					Hops:    int(env.Hops),
 					At:      b.sim.Now() - b.started,
+				})
+				b.journal.Append(obs.Event{
+					Kind:  obs.EvAgentAnswered,
+					Query: b.qid,
+					Peer:  nodeAddr(origin),
+					Hops:  int(env.Hops),
+					Count: hits,
 				})
 			}
 			if b.p.DataShip {
@@ -255,9 +271,19 @@ func (b *bpSim) runRound() RunResult {
 	b.seen[b.tp.Base] = true
 	b.events = nil
 	b.started = b.sim.Now()
+	b.qid = wire.NewMsgID().String()
 	msgs0, bytes0 := b.net.MsgsDelivered, b.net.BytesDelivered
 
 	ttl := uint8(clampHops(b.p.TTL))
+	// Issued before the fan-out, like the live node, so the journal's
+	// answered events always follow their query.
+	b.journal.Append(obs.Event{
+		Kind:     obs.EvQueryIssued,
+		Query:    b.qid,
+		Strategy: b.strategyName,
+		Hops:     int(ttl),
+		Count:    len(b.peers[b.tp.Base]),
+	})
 	for _, w := range b.peers[b.tp.Base] {
 		env := &wire.Envelope{
 			Kind: wire.KindAgent, ID: wire.NewMsgID(), TTL: ttl, Hops: 1,
@@ -279,6 +305,7 @@ func (b *bpSim) runRound() RunResult {
 		}
 	}
 	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].At < res.Events[j].At })
+	b.journal.Append(obs.Event{Kind: obs.EvQueryCompleted, Query: b.qid, Count: res.TotalAnswers})
 	return res
 }
 
@@ -314,11 +341,11 @@ func (b *bpSim) reconfigure(strategy reconfig.Strategy, res RunResult) {
 			byNode[w] = &reconfig.Observation{Addr: nodeAddr(w), Direct: true, Hops: 1}
 		}
 	}
-	obs := make([]reconfig.Observation, 0, len(byNode))
+	cands := make([]reconfig.Observation, 0, len(byNode))
 	for _, o := range byNode {
-		obs = append(obs, *o)
+		cands = append(cands, *o)
 	}
-	selected := strategy.Select(obs, budget)
+	selected := strategy.Select(cands, budget)
 
 	// Figure-2 semantics: current peers are retained (they are proven
 	// connectivity into the rest of the network); the strategy ranks
@@ -330,6 +357,7 @@ func (b *bpSim) reconfigure(strategy reconfig.Strategy, res RunResult) {
 	for _, w := range next {
 		chosen[w] = true
 	}
+	var added []int
 	for _, o := range selected {
 		if len(next) >= budget {
 			break
@@ -337,21 +365,64 @@ func (b *bpSim) reconfigure(strategy reconfig.Strategy, res RunResult) {
 		w := nodeFromEnvAddr(o.Addr)
 		if !chosen[w] {
 			next = append(next, w)
+			added = append(added, w)
 			chosen[w] = true
 		}
 	}
 	sort.Ints(next)
 	b.peers[b.tp.Base] = next
+
+	// Journal the decision with the strategy's full rationale, exactly
+	// like the live node's reconfigure.
+	scores := make([]obs.PeerScore, 0, len(cands))
+	for _, d := range reconfig.Explain(strategy, cands, budget) {
+		scores = append(scores, obs.PeerScore{
+			Addr:     d.Addr,
+			Answers:  d.Answers,
+			Bytes:    d.Bytes,
+			Hops:     d.Hops,
+			Rank:     d.Rank,
+			Selected: d.Selected,
+		})
+	}
+	b.journal.Append(obs.Event{
+		Kind:     obs.EvReconfigured,
+		Query:    b.qid,
+		Strategy: strategy.Name(),
+		K:        budget,
+		Count:    len(added),
+		Scores:   scores,
+	})
+	for _, w := range added {
+		b.journal.Append(obs.Event{
+			Kind:     obs.EvPeerAdded,
+			Query:    b.qid,
+			Strategy: strategy.Name(),
+			Peer:     nodeAddr(w),
+			Reason:   "reconfig",
+		})
+	}
 }
 
 // RunBestPeer executes `rounds` repetitions of the query under the given
 // reconfiguration strategy (reconfig.Static == BPS; MaxCount/MinHops ==
 // BPR) and returns one RunResult per round.
 func RunBestPeer(tp *topology.Topology, p Params, rounds int, strategy reconfig.Strategy) []RunResult {
+	return RunBestPeerObserved(tp, p, rounds, strategy, nil)
+}
+
+// RunBestPeerObserved is RunBestPeer with the base's structured events
+// journalled — query lifecycle, answer batches and reconfiguration
+// rationale flow through the same obs pipeline a live node feeds, so the
+// convergence timeline can be reconstructed from the journal alone.
+// A nil journal disables journalling.
+func RunBestPeerObserved(tp *topology.Topology, p Params, rounds int, strategy reconfig.Strategy, journal *obs.Journal) []RunResult {
 	if strategy == nil {
 		strategy = reconfig.MaxCount{}
 	}
 	b := newBPSim(tp, p)
+	b.journal = journal
+	b.strategyName = strategy.Name()
 	out := make([]RunResult, 0, rounds)
 	for r := 0; r < rounds; r++ {
 		res := b.runRound()

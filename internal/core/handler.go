@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"bestpeer/internal/agent"
+	"bestpeer/internal/obs"
 	"bestpeer/internal/wire"
 )
 
@@ -49,6 +50,13 @@ func (n *Node) handle(env *wire.Envelope) {
 // where (and why) propagation was cut.
 func (n *Node) dropAgent(env *wire.Envelope, reason string) {
 	n.m.drops[reason].Inc()
+	n.journal.Append(obs.Event{
+		Kind:   obs.EvAgentDropped,
+		Query:  env.ID.String(),
+		Peer:   env.From,
+		Reason: reason,
+		Hops:   int(env.Hops),
+	})
 	if env.Trace == nil {
 		return
 	}
@@ -144,6 +152,15 @@ func (n *Node) forwardAgent(env *wire.Envelope) int {
 		n.m.agentsForwarded.Inc()
 		fanOut++
 	}
+	if fanOut > 0 {
+		n.journal.Append(obs.Event{
+			Kind:  obs.EvAgentForwarded,
+			Query: env.ID.String(),
+			Peer:  from,
+			Hops:  int(env.Hops),
+			Count: fanOut,
+		})
+	}
 	return fanOut
 }
 
@@ -232,6 +249,13 @@ func (n *Node) handleResult(env *wire.Envelope, hint bool) {
 		return // late answer for a finished query
 	}
 	n.m.answerHops.Observe(float64(batch.Hops))
+	n.journal.Append(obs.Event{
+		Kind:  obs.EvAgentAnswered,
+		Query: env.ID.String(),
+		Peer:  batch.FromAddr,
+		Hops:  batch.Hops,
+		Count: len(batch.Results),
+	})
 	v.(*queryState).deliver(batch, hint)
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bestpeer/internal/agent"
+	"bestpeer/internal/obs"
 )
 
 // QueryAndFetch runs a mode-2 query (peers advertise matching names
@@ -162,6 +163,11 @@ func (n *Node) SweepPeers(probeTimeout time.Duration) int {
 			n.peers = alive
 			n.peerGen++
 			n.mu.Unlock()
+			for i, p := range peers {
+				if !responsive[i] {
+					n.journal.Append(obs.Event{Kind: obs.EvPeerDropped, Peer: p.Addr, Reason: "unresponsive"})
+				}
+			}
 			n.log.Info("dropped unresponsive peers", "count", dropped)
 		} else {
 			n.mu.Unlock()

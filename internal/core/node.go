@@ -80,6 +80,9 @@ type Config struct {
 	// TraceCapacity caps how many query traces the node retains for
 	// Trace and the admin endpoint. Zero selects the obs default (128).
 	TraceCapacity int
+	// JournalCapacity caps the node's structured event journal ring.
+	// Zero selects the obs default (1024).
+	JournalCapacity int
 }
 
 // Node is a live BestPeer participant.
@@ -116,6 +119,7 @@ type Node struct {
 	// metric handles.
 	metrics *obs.Registry
 	tracer  *obs.Tracer
+	journal *obs.Journal
 	m       nodeMetrics
 }
 
@@ -238,8 +242,13 @@ func NewNode(cfg Config) (*Node, error) {
 		mreg = obs.NewRegistry()
 	}
 	// Every layer publishes to the node's registry, so one /metrics
-	// scrape covers node, transport, LIGLO-client and StorM families.
+	// scrape covers node, transport, LIGLO-client and StorM families;
+	// likewise the journal collects transport events alongside the
+	// node's own, so one /events read covers every layer.
+	journal := obs.NewJournal("", cfg.JournalCapacity)
+	journal.SetLogger(logger)
 	cfg.Transport.Metrics = mreg
+	cfg.Transport.Journal = journal
 	cfg.Liglo.Metrics = mreg
 	n := &Node{
 		cfg:          cfg,
@@ -254,6 +263,7 @@ func NewNode(cfg Config) (*Node, error) {
 		pendingWants: make(map[string][]string),
 		metrics:      mreg,
 		tracer:       obs.NewTracer(cfg.TraceCapacity),
+		journal:      journal,
 	}
 	n.bindMetrics(mreg)
 	cfg.Store.RegisterMetrics(mreg)
@@ -262,6 +272,7 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n.msgr = m
+	journal.SetNode(m.Addr())
 	return n, nil
 }
 
@@ -306,6 +317,9 @@ func (n *Node) Stats() Stats {
 // Metrics returns the node's metric registry.
 func (n *Node) Metrics() *obs.Registry { return n.metrics }
 
+// Journal returns the node's structured event journal.
+func (n *Node) Journal() *obs.Journal { return n.journal }
+
 // MessengerStats returns a snapshot of the node's transport counters.
 func (n *Node) MessengerStats() transport.MessengerStats { return n.msgr.Stats() }
 
@@ -334,6 +348,7 @@ func (n *Node) ServeAdmin(addr string) (*obs.AdminServer, error) {
 	srv, err := obs.StartAdmin(addr, obs.AdminConfig{
 		Registry: n.metrics,
 		Tracer:   n.tracer,
+		Journal:  n.journal,
 		Health: func() any {
 			return map[string]any{
 				"status": "ok",
@@ -381,12 +396,35 @@ func (n *Node) PeerAddrs() []string {
 // tests). The set is clamped to MaxPeers.
 func (n *Node) SetPeers(peers []Peer) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if len(peers) > n.cfg.MaxPeers {
 		peers = peers[:n.cfg.MaxPeers]
 	}
+	old := n.peers
 	n.peers = append([]Peer(nil), peers...)
 	n.peerGen++
+	n.mu.Unlock()
+	n.journalPeerDiff(old, peers, "topology")
+}
+
+// journalPeerDiff emits peer-added/peer-dropped events for the change
+// from old to new, tagged with why the set changed.
+func (n *Node) journalPeerDiff(old, cur []Peer, reason string) {
+	was := make(map[string]bool, len(old))
+	for _, p := range old {
+		was[p.Addr] = true
+	}
+	is := make(map[string]bool, len(cur))
+	for _, p := range cur {
+		is[p.Addr] = true
+		if !was[p.Addr] {
+			n.journal.Append(obs.Event{Kind: obs.EvPeerAdded, Peer: p.Addr, Reason: reason})
+		}
+	}
+	for _, p := range old {
+		if !is[p.Addr] {
+			n.journal.Append(obs.Event{Kind: obs.EvPeerDropped, Peer: p.Addr, Reason: reason})
+		}
+	}
 }
 
 // AddPeer appends a direct peer if there is room and it is not already
@@ -404,6 +442,7 @@ func (n *Node) AddPeer(p Peer) bool {
 	}
 	n.peers = append(n.peers, p)
 	n.peerGen++
+	n.journal.Append(obs.Event{Kind: obs.EvPeerAdded, Peer: p.Addr, Reason: "added"})
 	return true
 }
 
@@ -434,7 +473,12 @@ func (n *Node) Join(servers []string) error {
 	}
 	n.peerGen++
 	count := len(n.peers)
+	joined := append([]Peer(nil), n.peers...)
 	n.mu.Unlock()
+	n.journal.Append(obs.Event{Kind: obs.EvJoined, Count: count})
+	for _, p := range joined {
+		n.journal.Append(obs.Event{Kind: obs.EvPeerAdded, Peer: p.Addr, Reason: "join"})
+	}
 	n.log.Info("joined bestpeer network", "bpid", id.String(), "initial_peers", count)
 	return nil
 }
@@ -462,6 +506,7 @@ func (n *Node) Rejoin() error {
 		}
 		addr, online, err := n.lgc.Lookup(p.ID)
 		if err != nil || !online {
+			n.journal.Append(obs.Event{Kind: obs.EvPeerDropped, Peer: p.Addr, Reason: "offline"})
 			continue
 		}
 		p.Addr = addr

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bestpeer/internal/agent"
+	"bestpeer/internal/obs"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/wire"
 )
@@ -146,6 +147,15 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 	defer n.queries.Delete(qid)
 	n.m.queries.Inc()
 	n.tracer.Begin(qid, n.Addr())
+	// Issued before the fan-out so downstream answered/forwarded events
+	// never precede their query in the journal.
+	n.journal.Append(obs.Event{
+		Kind:     obs.EvQueryIssued,
+		Query:    qid.String(),
+		Strategy: n.strategy.Name(),
+		Hops:     int(ttl),
+		Count:    len(n.Peers()),
+	})
 
 	packet := &agent.Packet{
 		Class:       ag.Class(),
@@ -222,8 +232,13 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 		Hints:   hints,
 		Elapsed: time.Since(qs.start),
 	}
+	n.journal.Append(obs.Event{
+		Kind:  obs.EvQueryCompleted,
+		Query: qid.String(),
+		Count: len(answers) + len(hints),
+	})
 	if !opts.NoReconfigure {
-		res.Reconfigured = n.reconfigure(answers, hints)
+		res.Reconfigured = n.reconfigure(qid, answers, hints)
 	}
 	return res, nil
 }
@@ -231,8 +246,9 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 // reconfigure applies the node's strategy to what this query revealed:
 // every answering peer plus every current direct peer is scored, the
 // strategy picks the best k, and any remaining slots are refilled with
-// current peers so the node never strands itself.
-func (n *Node) reconfigure(answers, hints []Answer) bool {
+// current peers so the node never strands itself. The full rationale —
+// every candidate's score, rank and k-cut outcome — is journalled.
+func (n *Node) reconfigure(qid wire.MsgID, answers, hints []Answer) bool {
 	me := n.Addr()
 	direct := make(map[string]Peer)
 	n.mu.Lock()
@@ -279,9 +295,9 @@ func (n *Node) reconfigure(answers, hints []Answer) bool {
 		}
 	}
 
-	obs := make([]reconfig.Observation, 0, len(byAddr))
+	cands := make([]reconfig.Observation, 0, len(byAddr))
 	for _, o := range byAddr {
-		obs = append(obs, *o)
+		cands = append(cands, *o)
 	}
 	// The effective budget never shrinks the node below its current
 	// degree: promotion must not disconnect it from regions only
@@ -289,7 +305,7 @@ func (n *Node) reconfigure(answers, hints []Answer) bool {
 	if len(oldPeers) > k {
 		k = len(oldPeers)
 	}
-	selected := n.strategy.Select(obs, k)
+	selected := n.strategy.Select(cands, k)
 
 	// Figure-2 semantics: current peers are retained; the strategy ranks
 	// which newly observed peers fill the remaining budget. Dead peers
@@ -322,6 +338,29 @@ func (n *Node) reconfigure(answers, hints []Answer) bool {
 			}
 		}
 	}
+	// Journal the decision rationale whether or not the set changed: a
+	// round where every candidate lost to the incumbents is as much a
+	// decision as one that promotes peers.
+	scores := make([]obs.PeerScore, 0, len(cands))
+	for _, d := range reconfig.Explain(n.strategy, cands, k) {
+		scores = append(scores, obs.PeerScore{
+			Addr:     d.Addr,
+			Answers:  d.Answers,
+			Bytes:    d.Bytes,
+			Hops:     d.Hops,
+			Rank:     d.Rank,
+			Selected: d.Selected,
+		})
+	}
+	added := newSet[len(oldPeers):]
+	n.journal.Append(obs.Event{
+		Kind:     obs.EvReconfigured,
+		Query:    qid.String(),
+		Strategy: n.strategy.Name(),
+		K:        k,
+		Count:    len(added),
+		Scores:   scores,
+	})
 	if changed {
 		n.mu.Lock()
 		n.peers = newSet
@@ -331,6 +370,15 @@ func (n *Node) reconfigure(answers, hints []Answer) bool {
 		addrs := make([]string, len(newSet))
 		for i, p := range newSet {
 			addrs[i] = p.Addr
+		}
+		for _, p := range added {
+			n.journal.Append(obs.Event{
+				Kind:     obs.EvPeerAdded,
+				Query:    qid.String(),
+				Strategy: n.strategy.Name(),
+				Peer:     p.Addr,
+				Reason:   "reconfig",
+			})
 		}
 		n.log.Info("reconfigured peer set", "strategy", n.strategy.Name(), "peers", addrs)
 	}

@@ -32,6 +32,9 @@ type ServerConfig struct {
 	// Metrics is the registry the server's counters are published to.
 	// Nil means a private registry.
 	Metrics *obs.Registry
+	// Journal receives structured member-liveness events (registered,
+	// online, offline, expired). Nil disables journalling.
+	Journal *obs.Journal
 }
 
 type member struct {
@@ -251,6 +254,7 @@ func (s *Server) handleRegister(r *registerReq) *wire.Envelope {
 	peers := s.peerListLocked(m.node)
 	s.members[m.node] = m
 	s.registers.Inc()
+	s.cfg.Journal.Append(obs.Event{Kind: obs.EvMemberRegistered, Peer: r.Addr})
 
 	return reply(wire.KindLigloRegisterd, encodeRegisterResp(&registerResp{
 		ID:    wire.BPID{LIGLO: s.Addr(), Node: m.node},
@@ -297,10 +301,14 @@ func (s *Server) handleRejoin(r *rejoinReq) *wire.Envelope {
 	if !ok {
 		return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{Err: ErrUnknown.Error()}))
 	}
+	cameBack := !m.online
 	m.addr = r.Addr
 	m.online = true
 	m.lastSeen = time.Now()
 	s.rejoins.Inc()
+	if cameBack {
+		s.cfg.Journal.Append(obs.Event{Kind: obs.EvMemberOnline, Peer: r.Addr, Reason: "rejoin"})
+	}
 	return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{}))
 }
 
@@ -385,21 +393,33 @@ func (s *Server) CheckNow() int {
 	online := 0
 	offline := 0
 	now := time.Now()
+	var transitions []obs.Event
 	for node, m := range s.members {
+		was := m.online
 		if alive[node] {
 			m.online = true
 			m.lastSeen = now
 			online++
+			if !was {
+				transitions = append(transitions, obs.Event{Kind: obs.EvMemberOnline, Peer: m.addr, Reason: "probe"})
+			}
 			continue
 		}
 		m.online = false
 		offline++
+		if was {
+			transitions = append(transitions, obs.Event{Kind: obs.EvMemberOffline, Peer: m.addr, Reason: "probe"})
+		}
 		if s.cfg.ExpireAfter > 0 && now.Sub(m.lastSeen) > s.cfg.ExpireAfter {
 			delete(s.members, node)
 			s.expired.Inc()
+			transitions = append(transitions, obs.Event{Kind: obs.EvMemberExpired, Peer: m.addr})
 		}
 	}
 	s.mu.Unlock()
+	for _, e := range transitions {
+		s.cfg.Journal.Append(e)
+	}
 	s.sweeps.Inc()
 	s.sweepOnline.Add(uint64(online))
 	s.sweepOffline.Add(uint64(offline))

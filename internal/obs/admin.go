@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 
 	"bestpeer/internal/wire"
@@ -17,6 +18,7 @@ import (
 type AdminConfig struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Journal  *Journal   // event journal behind /events; nil serves 404
 	Health   func() any // payload for /healthz; nil serves {"status":"ok"}
 	Peers    func() any // payload for /peers; nil serves 404
 }
@@ -27,6 +29,7 @@ type AdminConfig struct {
 //	/metrics.json  JSON snapshot of every metric family
 //	/healthz       liveness payload
 //	/peers         current peer view
+//	/events        event journal page (?since=<cursor>&max=<n>)
 //	/queries/      recent query traces (ids); /queries/<id> is one trace
 //	/debug/pprof/  the standard runtime profiles
 func NewAdminMux(cfg AdminConfig) *http.ServeMux {
@@ -52,6 +55,31 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 			return
 		}
 		writeAdminJSON(w, cfg.Peers())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Journal == nil {
+			http.NotFound(w, r)
+			return
+		}
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad since cursor: %v", err), http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		max := defaultEventsPageSize
+		if s := r.URL.Query().Get("max"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, fmt.Sprintf("bad max %q", s), http.StatusBadRequest)
+				return
+			}
+			max = v
+		}
+		writeAdminJSON(w, cfg.Journal.Page(since, max))
 	})
 	mux.HandleFunc("/queries/", func(w http.ResponseWriter, r *http.Request) {
 		if cfg.Tracer == nil {
@@ -91,6 +119,10 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
+
+// defaultEventsPageSize bounds one /events response when the client
+// does not say; cursors make follow-up pages cheap.
+const defaultEventsPageSize = 512
 
 func writeAdminJSON(w http.ResponseWriter, payload any) {
 	w.Header().Set("Content-Type", "application/json")

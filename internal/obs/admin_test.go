@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -32,9 +33,15 @@ func TestAdminEndpoints(t *testing.T) {
 	tracer.Begin(id, "base:1")
 	tracer.Record(id, wire.TraceSpan{Peer: "b:2", Parent: "base:1", Hop: 1, Matches: 2})
 
+	journal := NewJournal("base:1", 4)
+	for i := 0; i < 6; i++ { // overflows the 4-slot ring by 2
+		journal.Append(Event{Kind: EvAgentAnswered, Peer: "b:2", Hops: 1, Count: i})
+	}
+
 	srv, err := StartAdmin("", AdminConfig{
 		Registry: reg,
 		Tracer:   tracer,
+		Journal:  journal,
 		Health:   func() any { return map[string]string{"status": "ok", "addr": "base:1"} },
 		Peers:    func() any { return []string{"b:2", "c:3"} },
 	})
@@ -75,6 +82,39 @@ func TestAdminEndpoints(t *testing.T) {
 	code, body, _ = adminGet(t, base+"/peers")
 	if code != 200 || !strings.Contains(body, `"b:2"`) {
 		t.Fatalf("/peers = %d:\n%s", code, body)
+	}
+
+	code, body, _ = adminGet(t, base+"/events")
+	if code != 200 {
+		t.Fatalf("/events = %d:\n%s", code, body)
+	}
+	var page EventsPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatalf("/events not valid JSON: %v", err)
+	}
+	if page.Node != "base:1" || len(page.Events) != 4 || page.Missed != 2 || page.Total != 6 || page.Evicted != 2 {
+		t.Fatalf("/events page = %+v; want 4 events, missed 2, total 6", page)
+	}
+	if page.Events[0].Kind != EvAgentAnswered || page.Events[0].Seq != 2 {
+		t.Fatalf("/events first event = %+v", page.Events[0])
+	}
+
+	// Cursor pagination over HTTP: resume from Next, cap with max.
+	code, body, _ = adminGet(t, fmt.Sprintf("%s/events?since=%d&max=1", base, page.Events[0].Seq+1))
+	var page2 EventsPage
+	if code != 200 {
+		t.Fatalf("/events?since = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &page2); err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Events) != 1 || page2.Events[0].Seq != 3 || page2.Missed != 0 || page2.Next != 4 {
+		t.Fatalf("paged /events = %+v", page2)
+	}
+
+	code, _, _ = adminGet(t, base+"/events?since=notanumber")
+	if code != http.StatusBadRequest {
+		t.Fatalf("/events?since=notanumber = %d, want 400", code)
 	}
 
 	code, body, _ = adminGet(t, base+"/queries/")

@@ -1,0 +1,122 @@
+package observatory
+
+import (
+	"bestpeer/internal/obs"
+)
+
+// Round is one query's entry in a convergence timeline, folded from the
+// structured event journal: how the query fanned out, what answered from
+// how far, and how the reconfiguration that followed edited the overlay.
+type Round struct {
+	// Query is the query's MsgID in hex.
+	Query string `json:"query"`
+	// Strategy is the reconfiguration policy active for the round.
+	Strategy string `json:"strategy,omitempty"`
+	// FanOut is how many direct peers the query was cloned to.
+	FanOut int `json:"fan_out"`
+	// Answers is the total results collected (summed over batches).
+	Answers int `json:"answers"`
+	// AnswerBatches is how many answer batches arrived.
+	AnswerBatches int `json:"answer_batches"`
+	// MeanAnswerHops is the answer-weighted mean hop distance of the
+	// batches — the paper's convergence signal: under BPR it falls as
+	// providers are promoted to direct peers; under BPS it stays flat.
+	MeanAnswerHops float64 `json:"mean_answer_hops"`
+	// MaxAnswerHops is the farthest batch's distance.
+	MaxAnswerHops int `json:"max_answer_hops"`
+	// PeersAdded and PeersDropped are the overlay edits attributed to
+	// this round (reconfig promotions, liveness drops).
+	PeersAdded   []string `json:"peers_added,omitempty"`
+	PeersDropped []string `json:"peers_dropped,omitempty"`
+	// EditDistance is the overlay edit distance of the round: adds plus
+	// drops. Zero means the round converged (no topology change).
+	EditDistance int `json:"edit_distance"`
+	// Scores is the reconfiguration rationale journalled for the round,
+	// when an EvReconfigured event was observed.
+	Scores []obs.PeerScore `json:"scores,omitempty"`
+}
+
+// Timeline folds journal events into per-query convergence rounds, in
+// query-issued order. Answered, reconfigured and peer-added events are
+// attributed to their round by query id; peer-dropped events (which
+// carry no query) attach to the most recent round. Events for queries
+// whose query-issued event was evicted or lost are skipped — overflow is
+// the journal's accounted-loss regime, not a reason to invent rounds.
+func Timeline(events []obs.Event) []Round {
+	var rounds []Round
+	index := make(map[string]int) // query id -> rounds index
+	var hopWeight []float64       // per round: answer-weighted hop sum
+	var weight []float64          // per round: total weight
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvQueryIssued:
+			index[e.Query] = len(rounds)
+			rounds = append(rounds, Round{
+				Query:    e.Query,
+				Strategy: e.Strategy,
+				FanOut:   e.Count,
+			})
+			hopWeight = append(hopWeight, 0)
+			weight = append(weight, 0)
+		case obs.EvAgentAnswered:
+			i, ok := index[e.Query]
+			if !ok {
+				continue
+			}
+			r := &rounds[i]
+			r.Answers += e.Count
+			r.AnswerBatches++
+			w := float64(e.Count)
+			if w < 1 {
+				w = 1 // an empty batch still marks a responding peer
+			}
+			hopWeight[i] += w * float64(e.Hops)
+			weight[i] += w
+			if e.Hops > r.MaxAnswerHops {
+				r.MaxAnswerHops = e.Hops
+			}
+		case obs.EvReconfigured:
+			i, ok := index[e.Query]
+			if !ok {
+				continue
+			}
+			r := &rounds[i]
+			if r.Strategy == "" {
+				r.Strategy = e.Strategy
+			}
+			r.Scores = e.Scores
+		case obs.EvPeerAdded:
+			i, ok := index[e.Query]
+			if !ok {
+				continue // join/topology adds are not round edits
+			}
+			rounds[i].PeersAdded = append(rounds[i].PeersAdded, e.Peer)
+		case obs.EvPeerDropped:
+			if len(rounds) == 0 {
+				continue
+			}
+			i := len(rounds) - 1
+			if j, ok := index[e.Query]; ok {
+				i = j
+			}
+			rounds[i].PeersDropped = append(rounds[i].PeersDropped, e.Peer)
+		}
+	}
+	for i := range rounds {
+		if weight[i] > 0 {
+			rounds[i].MeanAnswerHops = hopWeight[i] / weight[i]
+		}
+		rounds[i].EditDistance = len(rounds[i].PeersAdded) + len(rounds[i].PeersDropped)
+	}
+	return rounds
+}
+
+// MeanHopsTrend extracts the mean-answer-hops series from a timeline —
+// the scalar the paper's BPR-vs-BPS convergence argument is about.
+func MeanHopsTrend(rounds []Round) []float64 {
+	out := make([]float64, len(rounds))
+	for i, r := range rounds {
+		out[i] = r.MeanAnswerHops
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package observatory
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// NewMux builds the observatory HTTP handler:
+//
+//	/fleet              scrape every member and return the fleet snapshot
+//	/fleet/topology     the overlay graph from the latest scrape
+//	/fleet/convergence  the convergence timeline folded from fleet events
+//	/fleet/trace/<id>   cross-node trace assembly for one query
+//
+// Every endpoint scrapes on demand, so a snapshot is never staler than
+// its request.
+func NewMux(c *Collector) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Scrape())
+	})
+	mux.HandleFunc("/fleet/topology", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Scrape().Topology())
+	})
+	mux.HandleFunc("/fleet/convergence", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Scrape().Rounds())
+	})
+	mux.HandleFunc("/fleet/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/fleet/trace/")
+		if id == "" {
+			http.Error(w, "missing query id", http.StatusBadRequest)
+			return
+		}
+		c.Scrape() // pick up the latest journal entries first
+		writeJSON(w, c.AssembleTrace(id))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(payload) // client went away mid-response; nothing to do
+}
+
+// Server is a running observatory HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds the observatory mux and serves it in the background.
+// Like the node admin endpoint, an empty addr means "127.0.0.1:0" and a
+// bare ":port" binds loopback — the observatory aggregates fleet
+// internals and is unauthenticated.
+func StartServer(addr string, c *Collector) (*Server, error) {
+	switch {
+	case addr == "":
+		addr = "127.0.0.1:0"
+	case strings.HasPrefix(addr, ":"):
+		addr = "127.0.0.1" + addr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("observatory: listen: %w", err)
+	}
+	srv := &http.Server{Handler: NewMux(c)}
+	go func() {
+		defer func() { recover() }() // a crashed observatory must not take the process down
+		_ = srv.Serve(ln)            // returns ErrServerClosed on Close; nothing to report
+	}()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address of the observatory endpoint.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the observatory endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

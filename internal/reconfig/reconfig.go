@@ -112,6 +112,49 @@ func clamp(obs []Observation, k int) []Observation {
 	return obs
 }
 
+// Decision is one candidate's line in an explained selection: the
+// observation, where the strategy ranked it, and whether the k-cut kept
+// it. Rank is 1-based; 0 means the strategy never ranked the candidate
+// (Static drops non-direct peers without ordering them).
+type Decision struct {
+	Observation
+	Rank     int
+	Selected bool
+}
+
+// Explain re-runs a strategy's selection with full visibility: every
+// candidate appears in the result with its rank and whether it survived
+// the k-cut. The ranked candidates come first in rank order, unranked
+// ones follow sorted by address, so the slice doubles as a rationale
+// record for the event journal.
+func Explain(s Strategy, obs []Observation, k int) []Decision {
+	ranked := s.Select(obs, len(obs)) // rank everything, cut below
+	rankOf := make(map[string]int, len(ranked))
+	for i, o := range ranked {
+		rankOf[o.Addr] = i + 1
+	}
+	decisions := make([]Decision, 0, len(obs))
+	for _, o := range obs {
+		r := rankOf[o.Addr]
+		decisions = append(decisions, Decision{
+			Observation: o,
+			Rank:        r,
+			Selected:    r > 0 && (k < 0 || r <= k),
+		})
+	}
+	sort.SliceStable(decisions, func(i, j int) bool {
+		ri, rj := decisions[i].Rank, decisions[j].Rank
+		if (ri > 0) != (rj > 0) {
+			return ri > 0 // ranked candidates first
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return decisions[i].Addr < decisions[j].Addr
+	})
+	return decisions
+}
+
 // ByName returns the strategy with the given name: "maxcount", "minhops"
 // or "static". Unknown names fall back to MaxCount, the paper's default.
 func ByName(name string) Strategy {

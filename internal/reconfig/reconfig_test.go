@@ -100,6 +100,52 @@ func TestSelectDoesNotMutateInput(t *testing.T) {
 	}
 }
 
+func TestExplainRanksAndCuts(t *testing.T) {
+	in := []Observation{
+		obs("a", 3, 1, true),
+		obs("b", 10, 2, false),
+		obs("c", 0, 1, true),
+		obs("d", 7, 3, false),
+	}
+	d := Explain(MaxCount{}, in, 2)
+	if len(d) != 4 {
+		t.Fatalf("Explain returned %d decisions, want every candidate", len(d))
+	}
+	// Rank order: b(10), d(7), a(3), c(0); k=2 keeps b and d.
+	wantOrder := []string{"b", "d", "a", "c"}
+	for i, w := range wantOrder {
+		if d[i].Addr != w || d[i].Rank != i+1 {
+			t.Fatalf("decision %d = %s rank %d, want %s rank %d", i, d[i].Addr, d[i].Rank, w, i+1)
+		}
+		if sel := i < 2; d[i].Selected != sel {
+			t.Fatalf("decision %s selected=%v, want %v", d[i].Addr, d[i].Selected, sel)
+		}
+	}
+}
+
+func TestExplainStaticLeavesStrangersUnranked(t *testing.T) {
+	in := []Observation{
+		obs("stranger", 99, 4, false),
+		obs("old", 0, 1, true),
+	}
+	d := Explain(Static{}, in, 8)
+	if d[0].Addr != "old" || d[0].Rank != 1 || !d[0].Selected {
+		t.Fatalf("direct peer decision = %+v", d[0])
+	}
+	if d[1].Addr != "stranger" || d[1].Rank != 0 || d[1].Selected {
+		t.Fatalf("stranger decision = %+v", d[1])
+	}
+}
+
+func TestExplainNegativeKSelectsAllRanked(t *testing.T) {
+	in := []Observation{obs("a", 1, 1, false), obs("b", 2, 1, false)}
+	for _, d := range Explain(MaxCount{}, in, -1) {
+		if !d.Selected {
+			t.Fatalf("k<0 must select every ranked candidate, got %+v", d)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	if ByName("maxcount").Name() != "maxcount" ||
 		ByName("minhops").Name() != "minhops" ||

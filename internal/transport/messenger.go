@@ -48,6 +48,10 @@ type Options struct {
 	// registry; share one per node so /metrics shows transport state.
 	// Families assume one messenger per registry (per-node registries).
 	Metrics *obs.Registry
+	// Journal receives structured transport events: message drops by
+	// reason and per-peer suspect/recovered liveness transitions. Nil
+	// disables journalling (obs.Journal methods are nil-safe).
+	Journal *obs.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -331,6 +335,7 @@ func (m *Messenger) Send(to string, env *wire.Envelope) error {
 
 	if until, suspect := q.suspended(); suspect {
 		m.droppedSuspect.Inc()
+		m.opts.Journal.Append(obs.Event{Kind: obs.EvMessageDropped, Peer: to, Reason: "suspect"})
 		return fmt.Errorf("%w: %s for another %v", ErrPeerSuspect, to, time.Until(until).Round(time.Millisecond))
 	}
 	select {
@@ -338,6 +343,7 @@ func (m *Messenger) Send(to string, env *wire.Envelope) error {
 		return nil
 	default:
 		m.droppedQueue.Inc()
+		m.opts.Journal.Append(obs.Event{Kind: obs.EvMessageDropped, Peer: to, Reason: "queue-full"})
 		return fmt.Errorf("%w: %s", ErrQueueFull, to)
 	}
 }
@@ -399,13 +405,15 @@ func (q *sendQueue) suspended() (time.Time, bool) {
 }
 
 // fail records one delivery failure and arms the exponential backoff
-// once the consecutive-failure threshold is crossed.
+// once the consecutive-failure threshold is crossed. The suspect
+// transition (not every failure) is journalled.
 func (q *sendQueue) fail() {
 	q.qmu.Lock()
-	defer q.qmu.Unlock()
 	q.failures++
-	over := q.failures - q.m.opts.FailThreshold
+	failures := q.failures
+	over := failures - q.m.opts.FailThreshold
 	if over < 0 {
+		q.qmu.Unlock()
 		return
 	}
 	backoff := q.m.opts.BackoffBase
@@ -416,14 +424,23 @@ func (q *sendQueue) fail() {
 		backoff = q.m.opts.BackoffMax
 	}
 	q.suspectUntil = time.Now().Add(backoff)
+	q.qmu.Unlock()
+	if over == 0 {
+		q.m.opts.Journal.Append(obs.Event{Kind: obs.EvPeerSuspect, Peer: q.addr, Count: failures})
+	}
 }
 
-// succeed clears the failure state after a delivered envelope.
+// succeed clears the failure state after a delivered envelope; recovery
+// from suspect (a state transition, not every delivery) is journalled.
 func (q *sendQueue) succeed() {
 	q.qmu.Lock()
+	wasSuspect := !q.suspectUntil.IsZero()
 	q.failures = 0
 	q.suspectUntil = time.Time{}
 	q.qmu.Unlock()
+	if wasSuspect {
+		q.m.opts.Journal.Append(obs.Event{Kind: obs.EvPeerRecovered, Peer: q.addr})
+	}
 }
 
 func (q *sendQueue) run() {
@@ -453,11 +470,13 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 		// Enqueued before the destination went suspect; don't burn a
 		// dial timeout per queued message on a peer known to be bad.
 		q.m.droppedSuspect.Inc()
+		q.m.opts.Journal.Append(obs.Event{Kind: obs.EvMessageDropped, Peer: q.addr, Reason: "suspect"})
 		return
 	}
 	frame, err := wire.EncodeEnvelope(env)
 	if err != nil {
 		q.m.droppedEncode.Inc()
+		q.m.opts.Journal.Append(obs.Event{Kind: obs.EvMessageDropped, Peer: q.addr, Reason: "encode"})
 		return
 	}
 	if q.conn == nil {
@@ -465,6 +484,7 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 		if err != nil {
 			q.fail()
 			q.m.droppedDeliver.Inc()
+			q.m.opts.Journal.Append(obs.Event{Kind: obs.EvMessageDropped, Peer: q.addr, Reason: "deliver"})
 			return
 		}
 		q.conn = conn
@@ -478,6 +498,7 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 		if derr != nil {
 			q.fail()
 			q.m.droppedDeliver.Inc()
+			q.m.opts.Journal.Append(obs.Event{Kind: obs.EvMessageDropped, Peer: q.addr, Reason: "deliver"})
 			return
 		}
 		q.conn = conn
@@ -486,6 +507,7 @@ func (q *sendQueue) deliver(env *wire.Envelope) {
 			q.conn = nil
 			q.fail()
 			q.m.droppedDeliver.Inc()
+			q.m.opts.Journal.Append(obs.Event{Kind: obs.EvMessageDropped, Peer: q.addr, Reason: "deliver"})
 			return
 		}
 	}

@@ -1,0 +1,143 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// eventdrift keeps the structured event vocabulary closed (DESIGN.md
+// §8). The observatory consumes the journal by event kind, so a kind
+// that exists in code but not in the obs.Kinds registry is invisible to
+// schema-driven consumers, and a kind invented inline from a raw string
+// bypasses the vocabulary entirely. Two rules:
+//
+//  1. In the package that declares a string-based type named EventKind
+//     and a package-level `Kinds` registry literal, every package-scope
+//     constant of that type must be listed in the registry.
+//  2. Anywhere, an EventKind value must come from a named constant —
+//     a raw string literal converted or assigned to the type is flagged.
+type eventdrift struct{}
+
+func (eventdrift) Name() string { return "eventdrift" }
+func (eventdrift) Doc() string {
+	return "event kind missing from the Kinds registry, or constructed from a raw string literal"
+}
+
+func (eventdrift) Run(p *Pass) {
+	if kindType := localEventKind(p); kindType != nil {
+		checkRegistry(p, kindType)
+	}
+
+	for _, f := range p.Files {
+		constLits := constKindLiterals(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || constLits[lit] {
+				return true
+			}
+			if named := namedFrom(p.TypeOf(lit)); named != nil && named.Obj().Name() == "EventKind" {
+				p.Reportf(lit.Pos(),
+					"event kind %s constructed from a raw string; use a registered EventKind constant", lit.Value)
+			}
+			return true
+		})
+	}
+}
+
+// localEventKind returns the package's own string-based EventKind type,
+// or nil when the package does not declare one.
+func localEventKind(p *Pass) *types.Named {
+	tn, ok := p.Pkg.Scope().Lookup("EventKind").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return nil
+	}
+	return named
+}
+
+// checkRegistry reports every package-scope EventKind constant that the
+// package's Kinds literal does not list.
+func checkRegistry(p *Pass, kindType *types.Named) {
+	registered, found := kindsRegistry(p, kindType)
+	if !found {
+		return // no registry to drift from
+	}
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), kindType) {
+			continue
+		}
+		if !registered[c] {
+			p.Reportf(c.Pos(), "event kind %s is not listed in the Kinds registry", c.Name())
+		}
+	}
+}
+
+// kindsRegistry resolves the package-level `Kinds` composite literal to
+// the set of constants it lists.
+func kindsRegistry(p *Pass, kindType *types.Named) (map[*types.Const]bool, bool) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, id := range vs.Names {
+					if id.Name != "Kinds" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					registered := make(map[*types.Const]bool)
+					for _, elt := range cl.Elts {
+						if ident, ok := elt.(*ast.Ident); ok {
+							if c, ok := p.Info.Uses[ident].(*types.Const); ok {
+								registered[c] = true
+							}
+						}
+					}
+					return registered, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// constKindLiterals collects the string literals that appear inside
+// const declarations — the definitions of the vocabulary itself, which
+// rule 2 must not flag.
+func constKindLiterals(f *ast.File) map[*ast.BasicLit]bool {
+	lits := make(map[*ast.BasicLit]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				if lit, ok := v.(*ast.BasicLit); ok {
+					lits[lit] = true
+				}
+			}
+		}
+		return false
+	})
+	return lits
+}

@@ -64,7 +64,7 @@ func wantsOf(pkg *Package) map[string]*regexp.Regexp {
 // compares findings against the fixture's // want expectations, both
 // ways: every finding must be expected, every expectation must fire.
 func TestAnalyzersGolden(t *testing.T) {
-	names := []string{"lockedsend", "nakedgo", "blockingsend", "busypoll", "droppederr", "ttlpair", "statsdrift"}
+	names := []string{"lockedsend", "nakedgo", "blockingsend", "busypoll", "droppederr", "ttlpair", "statsdrift", "eventdrift"}
 	fixtures := loadFixtures(t, names...)
 	for _, name := range names {
 		t.Run(name, func(t *testing.T) {
@@ -164,7 +164,7 @@ func TestParseIgnore(t *testing.T) {
 
 // TestSuiteNames pins the analyzer set the docs and Makefile refer to.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"lockedsend", "nakedgo", "blockingsend", "busypoll", "droppederr", "ttlpair", "statsdrift"}
+	want := []string{"lockedsend", "nakedgo", "blockingsend", "busypoll", "droppederr", "ttlpair", "statsdrift", "eventdrift"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

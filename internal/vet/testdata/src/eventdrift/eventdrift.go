@@ -1,0 +1,36 @@
+// Package eventdrift is a bpvet golden-test fixture.
+package eventdrift
+
+// EventKind mirrors the obs package's closed event vocabulary.
+type EventKind string
+
+const (
+	EvGood EventKind = "good"
+	EvAlso EventKind = "also"
+	EvLost EventKind = "lost" // want `event kind EvLost is not listed in the Kinds registry`
+)
+
+// Kinds is the registry schema-driven consumers enumerate.
+var Kinds = []EventKind{EvGood, EvAlso}
+
+// Event carries one journal entry.
+type Event struct {
+	Kind EventKind
+	Note string
+}
+
+func emit(Event) {}
+
+// good: kinds flow from the registered constants.
+func useConstants() {
+	emit(Event{Kind: EvGood, Note: "plain strings elsewhere are fine"})
+	k := EvAlso
+	emit(Event{Kind: k})
+}
+
+// bad: raw strings bypass the vocabulary.
+func useRawStrings() {
+	emit(Event{Kind: "rogue"}) // want `event kind "rogue" constructed from a raw string`
+	k := EventKind("cast")     // want `event kind "cast" constructed from a raw string`
+	emit(Event{Kind: k})
+}

@@ -84,6 +84,7 @@ func All() []Analyzer {
 		droppederr{},
 		ttlpair{},
 		statsdrift{},
+		eventdrift{},
 	}
 }
 
