@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodePacket -fuzztime $(FUZZTIME) ./internal/agent/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeResults -fuzztime $(FUZZTIME) ./internal/agent/
 	$(GO) test -run '^$$' -fuzz FuzzCompileFilter -fuzztime $(FUZZTIME) ./internal/agent/
+	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME) ./internal/agent/
 
 # Coverage profile across every package, suitable for `go tool cover`
 # and for upload as a CI artifact.
@@ -57,10 +58,11 @@ adminsmoke:
 	$(GO) test -race -count=1 -run 'TestAdminEndpointSmoke' ./cmd/bestpeer/
 	$(GO) test -race -count=1 -run 'TestFleetObservatorySmoke' ./cmd/bpobs/
 
-# Machine-readable benchmark report: every simulated figure plus the
-# reconfiguration-convergence timelines, as committed in BENCH_PR4.json
-# and uploaded as a CI artifact.
-BENCHJSON ?= BENCH_PR4.json
+# Machine-readable benchmark report: every simulated figure (including
+# the flood-vs-qroute traffic comparison) plus the reconfiguration-
+# convergence timelines, as committed in BENCH_PR5.json and uploaded as
+# a CI artifact.
+BENCHJSON ?= BENCH_PR5.json
 bench:
 	$(GO) run ./cmd/bpbench -fig all -json $(BENCHJSON)
 

@@ -6,7 +6,7 @@
 //
 //	bestpeer -store data.storm [-addr host:port] [-liglo a:1,b:2]
 //	         [-peers 5] [-strategy maxcount|minhops|static] [-ttl 7]
-//	         [-admin 127.0.0.1:9090]
+//	         [-admin 127.0.0.1:9090] [-cache] [-cache-ttl 30s]
 //
 // Shell commands:
 //
@@ -20,6 +20,7 @@
 //	peers                  show direct peers
 //	stats                  show node counters
 //	trace [id]             list recent query traces, or show one hop tree
+//	cache                  show answer-cache and selective-routing counters
 //	rejoin                 refresh addresses through LIGLO
 //	help                   this list
 //	quit                   exit
@@ -38,6 +39,7 @@ import (
 	"bestpeer/internal/agent"
 	"bestpeer/internal/core"
 	"bestpeer/internal/obs"
+	"bestpeer/internal/qroute"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/storm"
 	"bestpeer/internal/transport"
@@ -58,7 +60,9 @@ func main() {
 	index := flag.Bool("index", false, "maintain a persistent inverted keyword index")
 	wal := flag.String("wal", "", "write-ahead log path (empty disables)")
 	walSync := flag.Bool("wal-sync", false, "fsync the WAL on every operation")
-	admin := flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /queries, /events, pprof) on this address; ':port' binds loopback only; empty disables")
+	admin := flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /queries, /events, /cache, pprof) on this address; ':port' binds loopback only; empty disables")
+	cache := flag.Bool("cache", false, "enable the query answer cache and learned selective routing")
+	cacheTTL := flag.Duration("cache-ttl", 0, "answer-cache freshness bound for positive entries (0 = default 30s)")
 	logLevel := flag.String("log-level", "", "mirror structured events to stderr at this level: debug, info, warn, error; empty disables")
 	flag.Parse()
 
@@ -89,6 +93,10 @@ func main() {
 		Strategy:    reconfig.ByName(*strategy),
 		AccessLevel: *access,
 		Logger:      logger,
+		QRoute: qroute.Options{
+			Enable: *cache,
+			Cache:  qroute.CacheOptions{TTL: *cacheTTL},
+		},
 	})
 	if err != nil {
 		log.Fatalf("bestpeer: start node: %v", err)
@@ -162,7 +170,7 @@ func dispatch(node *core.Node, store *storm.Store, line string) bool {
 	case "quit", "exit":
 		return false
 	case "help":
-		fmt.Println("query filter digest hints put get ls peers stats trace rejoin quit")
+		fmt.Println("query filter digest hints put get ls peers stats trace cache rejoin quit")
 	case "query":
 		runQuery(node, &agent.KeywordAgent{Query: strings.Join(args, " ")}, 1)
 	case "digest":
@@ -209,6 +217,8 @@ func dispatch(node *core.Node, store *storm.Store, line string) bool {
 			store.Pool().Policy(), store.Pool().HitRate())
 	case "trace":
 		runTrace(node, args)
+	case "cache":
+		runCache(node)
 	case "rejoin":
 		if err := node.Rejoin(); err != nil {
 			fmt.Println("error:", err)
@@ -269,6 +279,22 @@ func printSpanTree(n *obs.SpanNode, indent string) {
 	for _, c := range n.Children {
 		printSpanTree(c, indent+"  ")
 	}
+}
+
+// runCache prints the qroute answer-cache and routing-index counters —
+// the shell view of the admin endpoint's /cache route.
+func runCache(node *core.Node) {
+	s := node.CacheStats()
+	if !s.Enabled {
+		fmt.Println("  cache disabled (start with -cache)")
+		return
+	}
+	c := s.Cache
+	fmt.Printf("  cache: entries=%d bytes=%d epoch=%d\n", c.Entries, c.Bytes, c.Epoch)
+	fmt.Printf("  hits=%d negative=%d misses=%d evicted=%d expired=%d invalidated=%d\n",
+		c.Hits, c.NegativeHits, c.Misses, c.Evictions, c.Expired, c.Invalidated)
+	fmt.Printf("  routing: terms=%d selective=%d flood=%d explored=%d\n",
+		s.Terms, s.Selective, s.Flood, s.Explored)
 }
 
 func runHints(node *core.Node, query string) {

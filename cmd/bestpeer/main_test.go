@@ -10,12 +10,14 @@ import (
 	"time"
 
 	"bestpeer/internal/core"
+	"bestpeer/internal/qroute"
 	"bestpeer/internal/storm"
 	"bestpeer/internal/transport"
 )
 
 // shellFixture builds a two-node in-process network and returns the base
-// node plus its store, with stdout capture around dispatch calls.
+// node plus its store, with stdout capture around dispatch calls. The
+// base runs with the answer cache enabled, like `bestpeer -cache`.
 func shellFixture(t *testing.T) (*core.Node, *storm.Store) {
 	t.Helper()
 	nw := transport.NewInProc()
@@ -25,7 +27,8 @@ func shellFixture(t *testing.T) (*core.Node, *storm.Store) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { st.Close() })
-		n, err := core.NewNode(core.Config{Network: nw, ListenAddr: name, Store: st})
+		n, err := core.NewNode(core.Config{Network: nw, ListenAddr: name, Store: st,
+			QRoute: qroute.Options{Enable: name == "shell-base"}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,6 +107,24 @@ func TestShellFilterAndHints(t *testing.T) {
 	}
 	if !strings.Contains(out, fmt.Sprintf("(%dB)", len("remote-bytes"))) {
 		t.Fatalf("hints did not fetch data:\n%s", out)
+	}
+}
+
+func TestShellCache(t *testing.T) {
+	node, store := shellFixture(t)
+	out := capture(t, func() {
+		dispatch(node, store, "query jazz")
+		dispatch(node, store, "query jazz") // identical repeat: answer-cache hit
+		dispatch(node, store, "cache")
+	})
+	if !strings.Contains(out, "cache: entries=") {
+		t.Fatalf("cache output missing cache line:\n%s", out)
+	}
+	if !strings.Contains(out, "hits=1") {
+		t.Fatalf("repeat query must register one cache hit:\n%s", out)
+	}
+	if !strings.Contains(out, "routing: terms=") {
+		t.Fatalf("cache output missing routing line:\n%s", out)
 	}
 }
 

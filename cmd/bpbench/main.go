@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|5a|5b|5c|6|7|8a|8b|ablations|convergence] [-seed N] [-live] [-json FILE]
+//	bpbench [-fig all|5a|5b|5c|6|7|8a|8b|ablations|convergence|traffic] [-seed N] [-live] [-json FILE]
 //
 // With -json the same data is also written as a machine-readable report;
 // live runs include a metrics section snapshotted from the node
@@ -83,12 +83,23 @@ func main() {
 		report.Convergence = bench.Convergence(cost, *seed)
 	}
 
+	// runTraffic renders the flood-vs-qroute message comparison and
+	// records the per-round breakdown in the report.
+	runTraffic := func() {
+		run(bench.FigTraffic(cost, *seed))
+		tr := bench.Traffic(cost, *seed)
+		report.Traffic = tr
+		fmt.Printf("traffic totals: flood %d msgs, qroute %d msgs (expected answers %d)\n\n",
+			tr.FloodMsgs, tr.QRouteMsgs, tr.Expected)
+	}
+
 	switch *fig {
 	case "all":
 		for _, f := range bench.AllFigures(cost, *seed) {
 			run(f)
 		}
 		runConvergence()
+		report.Traffic = bench.Traffic(cost, *seed)
 	case "5a":
 		run(bench.Fig5a(cost, *seed))
 	case "5b":
@@ -113,6 +124,7 @@ func main() {
 		runConvergence()
 	case "traffic":
 		run(bench.TrafficTable(cost, *seed))
+		runTraffic()
 	default:
 		fmt.Fprintf(os.Stderr, "bpbench: unknown figure %q\n", *fig)
 		flag.Usage()

@@ -1,0 +1,97 @@
+package agent
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Fingerprinter is implemented by agent types whose query semantics can
+// be reduced to a stable, normalized fingerprint. The qroute subsystem
+// uses it twice: QueryKey keys the per-node answer cache, and QueryTerms
+// keys the learned routing index. Agents that do not implement it (or
+// whose QueryKey is empty) bypass both.
+type Fingerprinter interface {
+	// QueryKey returns a canonical string capturing the agent's full
+	// query semantics: two agents of the same class with equal QueryKey
+	// MUST produce identical results against the same store state and
+	// access level. Normalization may only fold differences the match
+	// semantics ignore (e.g. letter case — storm matching is
+	// case-insensitive). Empty means "do not cache".
+	QueryKey() string
+	// QueryTerms returns the normalized content terms the query
+	// searches for — the routing-relevant part of the fingerprint,
+	// without result-shaping parameters like K or IncludeData. Terms are
+	// never empty strings; a query with no routing-relevant content
+	// returns nil.
+	QueryTerms() []string
+}
+
+// queryTerm wraps a single lowered query as a term list, dropping the
+// empty query (an empty term would pollute the routing index).
+func queryTerm(query string) []string {
+	if query == "" {
+		return nil
+	}
+	return []string{strings.ToLower(query)}
+}
+
+// QueryKey implements Fingerprinter: storm keyword matching lowercases
+// both sides, so case is the only safe normalization.
+func (a *KeywordAgent) QueryKey() string { return strings.ToLower(a.Query) }
+
+// QueryTerms implements Fingerprinter. The whole query string is one
+// keyword to storm, so it is a single routing term.
+func (a *KeywordAgent) QueryTerms() []string { return queryTerm(a.Query) }
+
+// QueryKey implements Fingerprinter.
+func (a *DigestAgent) QueryKey() string { return strings.ToLower(a.Query) }
+
+// QueryTerms implements Fingerprinter.
+func (a *DigestAgent) QueryTerms() []string { return queryTerm(a.Query) }
+
+// QueryKey implements Fingerprinter: K and IncludeData shape the result
+// set, so they are part of the key.
+func (a *TopKAgent) QueryKey() string {
+	return fmt.Sprintf("%s\x1fk=%d\x1fdata=%t", strings.ToLower(a.Query), a.K, a.IncludeData)
+}
+
+// QueryTerms implements Fingerprinter.
+func (a *TopKAgent) QueryTerms() []string { return queryTerm(a.Query) }
+
+// QueryKey implements Fingerprinter: filter string comparisons are
+// case-insensitive (see filter.go), so lowercasing the expression is
+// semantics-preserving; IncludeData shapes the results.
+func (a *FilterAgent) QueryKey() string {
+	return fmt.Sprintf("%s\x1fdata=%t", strings.ToLower(a.Expr), a.IncludeData)
+}
+
+// QueryTerms implements Fingerprinter: the comparison values of the
+// expression, minus field names and bare numbers — the content words a
+// provider would have to hold for the filter to match.
+func (a *FilterAgent) QueryTerms() []string { return filterTerms(a.Expr) }
+
+// filterFields are the predicate field names of the filter grammar.
+var filterFields = map[string]bool{
+	"name": true, "keyword": true, "size": true, "kind": true, "data": true,
+}
+
+// filterTerms extracts the routing-relevant words of a filter expression.
+func filterTerms(expr string) []string {
+	words := strings.FieldsFunc(strings.ToLower(expr), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r) &&
+			r != '-' && r != '_' && r != '.'
+	})
+	var out []string
+	for _, w := range words {
+		if filterFields[w] {
+			continue
+		}
+		if _, err := strconv.Atoi(w); err == nil {
+			continue // numeric bound, not a content term
+		}
+		out = append(out, w)
+	}
+	return out
+}

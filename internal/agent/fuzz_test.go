@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"strings"
 	"testing"
 
 	"bestpeer/internal/storm"
@@ -38,6 +39,64 @@ func FuzzDecodeResults(f *testing.F) {
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodeResults(data)
+	})
+}
+
+// FuzzFingerprint: agents reconstructed from hostile packet state must
+// fingerprint without panicking, and the Fingerprinter contract must
+// hold — equal states yield equal keys, and keys and terms are already
+// case-canonical (lowering them is a no-op).
+func FuzzFingerprint(f *testing.F) {
+	for _, ag := range []Agent{
+		&KeywordAgent{Query: "Jazz Music"},
+		&DigestAgent{Query: "needle"},
+		&TopKAgent{Query: "Top", K: 3, IncludeData: true},
+		&FilterAgent{Expr: "keyword=jazz & size>512"},
+	} {
+		st, err := ag.State()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(ag.Class(), st)
+	}
+	f.Add(KeywordClass, []byte{0xFF, 0x00})
+	f.Add(FilterClass, []byte{})
+	reg := NewRegistry()
+	if err := RegisterBuiltins(reg); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, class string, state []byte) {
+		ag, err := reg.New(class, state)
+		if err != nil {
+			return
+		}
+		fp, ok := ag.(Fingerprinter)
+		if !ok {
+			return
+		}
+		key := fp.QueryKey()
+		terms := fp.QueryTerms()
+		if key != fp.QueryKey() {
+			t.Fatal("QueryKey must be deterministic")
+		}
+		ag2, err := reg.New(class, state)
+		if err != nil {
+			t.Fatalf("same state failed to reconstruct twice: %v", err)
+		}
+		if k2 := ag2.(Fingerprinter).QueryKey(); k2 != key {
+			t.Fatalf("same state, different keys: %q vs %q", key, k2)
+		}
+		if key != strings.ToLower(key) {
+			t.Fatalf("key %q is not case-canonical", key)
+		}
+		for _, term := range terms {
+			if term == "" {
+				t.Fatal("empty routing term")
+			}
+			if term != strings.ToLower(term) {
+				t.Fatalf("term %q is not case-canonical", term)
+			}
+		}
 	})
 }
 

@@ -18,6 +18,9 @@ type Report struct {
 	// Convergence holds the per-strategy reconfiguration timelines when
 	// the convergence figure was requested.
 	Convergence []*StrategyTimeline `json:"convergence,omitempty"`
+	// Traffic holds the flood-vs-qroute message comparison when the
+	// traffic figure was requested.
+	Traffic *TrafficResult `json:"traffic,omitempty"`
 }
 
 // SchemeRun is one strategy's live-stack run.

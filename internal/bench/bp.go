@@ -6,6 +6,7 @@ import (
 
 	"bestpeer/internal/netsim"
 	"bestpeer/internal/obs"
+	"bestpeer/internal/qroute"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/topology"
 	"bestpeer/internal/wire"
@@ -24,8 +25,15 @@ type bpSim struct {
 
 	peers       [][]int // mutable copy of the adjacency (base's row changes)
 	classReady  []bool
-	wantQueued  [][]int // per node: downstream nodes waiting for the class
-	pendingHops []int   // per node: hop count of the agent parked for a class (-1 = none)
+	wantQueued  [][]int  // per node: downstream nodes waiting for the class
+	pendingHops []int    // per node: hop count of the agent parked for a class (-1 = none)
+	pendingVia  []string // per node: entry neighbor of the parked agent
+
+	// qr, when non-nil, is the base's answer cache + learned routing
+	// index — the same engine a live node embeds. The simulation stamps
+	// wire.QRoute on clones and result envelopes exactly like the live
+	// message path, so routing is learned from the identical signal.
+	qr *qroute.Engine
 
 	// Per-round state.
 	seen    []bool
@@ -87,7 +95,15 @@ func newBPSim(tp *topology.Topology, p Params) *bpSim {
 		h.SetHandler(func(env *wire.Envelope) { b.handle(i, env) })
 	}
 	b.classReady[tp.Base] = true // the base originates the agent class
+	b.qr = qroute.NewEngine(p.QRoute, nil)
 	return b
+}
+
+// simTime maps the simulated clock onto a wall-clock timeline for the
+// qroute engine, whose TTLs and decay half-lives are wall-clock based.
+// The fixed origin keeps runs deterministic.
+func (b *bpSim) simTime() time.Time {
+	return time.Unix(0, 0).UTC().Add(b.sim.Now())
 }
 
 // requestSize is the wire size of the travelling request: a full agent
@@ -106,6 +122,10 @@ func (b *bpSim) handle(node int, env *wire.Envelope) {
 	case wire.KindResult:
 		if node == b.tp.Base {
 			hits, origin := resultFromBody(env.Body)
+			if env.QRoute != nil && env.QRoute.Via != "" {
+				b.qr.Observe([]string{b.p.Query}, env.QRoute.Via, hits,
+					int(env.Hops), b.simTime())
+			}
 			record := func() {
 				b.events = append(b.events, Event{
 					Node:    origin,
@@ -179,23 +199,30 @@ func (b *bpSim) handleAgent(node int, env *wire.Envelope) {
 		})
 	}
 
+	via := ""
+	if env.QRoute != nil {
+		via = env.QRoute.Via
+	}
 	if !b.classReady[node] {
 		// Ask the previous hop for the class, then execute on install.
 		prev := nodeFromEnvAddr(env.From)
 		b.send(node, prev, wire.KindClassWant, 1, 0, nodeBody(node), 64)
 		// Remember this agent's hop count for execution after install.
-		b.wantHops(node, int(env.Hops))
+		b.wantHops(node, int(env.Hops), via)
 		return
 	}
-	b.execute(node, int(env.Hops), 0)
+	b.execute(node, int(env.Hops), 0, via)
 }
 
-// pendingHops stores the hop count of the agent parked for a class.
-func (b *bpSim) wantHops(node, hops int) {
+// wantHops stores the hop count and entry neighbor of the agent parked
+// for a class.
+func (b *bpSim) wantHops(node, hops int, via string) {
 	for len(b.pendingHops) <= node {
 		b.pendingHops = append(b.pendingHops, -1)
+		b.pendingVia = append(b.pendingVia, "")
 	}
 	b.pendingHops[node] = hops
+	b.pendingVia[node] = via
 }
 
 func (b *bpSim) shipClass(owner, requester int) {
@@ -214,16 +241,17 @@ func (b *bpSim) installClass(node int, env *wire.Envelope) {
 	}
 	b.wantQueued[node] = nil
 	if len(b.pendingHops) > node && b.pendingHops[node] >= 0 {
-		hops := b.pendingHops[node]
+		hops, via := b.pendingHops[node], b.pendingVia[node]
 		b.pendingHops[node] = -1
-		b.execute(node, hops, b.p.Cost.ClassInstall)
+		b.pendingVia[node] = ""
+		b.execute(node, hops, b.p.Cost.ClassInstall, via)
 	}
 }
 
 // execute charges the agent reconstruction + scan on the node's CPU, then
 // sends any answers directly to the base. In data-shipping mode the node
 // does no filtering: it ships its whole store and the base does the work.
-func (b *bpSim) execute(node, hops int, extra time.Duration) {
+func (b *bpSim) execute(node, hops int, extra time.Duration, via string) {
 	cost := b.p.Cost.AgentStartup + extra + b.p.Cost.scanCost(b.p.Spec.ObjectsPerNode)
 	if b.p.DataShip {
 		cost = b.p.Cost.QueryStartup // just package the data
@@ -245,8 +273,18 @@ func (b *bpSim) execute(node, hops int, extra time.Duration) {
 			size = b.p.Cost.resultSize(hits, b.p.Spec.ObjectSize, b.p.IncludeData)
 		}
 		// Results travel straight to the base — out-of-network return.
-		b.send(node, b.tp.Base, wire.KindResult, 1, uint8(clampHops(hops)),
-			resultBody(hits, node), size)
+		// Like the live handler, the result echoes the agent's entry
+		// neighbor so the base can credit its routing index.
+		env := &wire.Envelope{
+			Kind: wire.KindResult, ID: wire.NewMsgID(), TTL: 1,
+			Hops: uint8(clampHops(hops)),
+			From: nodeAddr(node), To: b.baseAt,
+			Body: resultBody(hits, node),
+		}
+		if via != "" {
+			env.QRoute = &wire.QRoute{Via: via}
+		}
+		b.net.Send(nodeAddr(node), b.baseAt, env, size)
 	})
 }
 
@@ -272,9 +310,57 @@ func (b *bpSim) runRound() RunResult {
 	b.events = nil
 	b.started = b.sim.Now()
 	b.qid = wire.NewMsgID().String()
-	msgs0, bytes0 := b.net.MsgsDelivered, b.net.BytesDelivered
+	msgs0, bytes0, sent0 := b.net.MsgsDelivered, b.net.BytesDelivered, b.net.MsgsSent
 
 	ttl := uint8(clampHops(b.p.TTL))
+	targets := b.peers[b.tp.Base]
+	route := "flood"
+	var epoch uint64
+	if b.qr != nil {
+		now := b.simTime()
+		if val, _, ok := b.qr.GetBase(b.p.Query, now); ok {
+			// The whole round is served from the base's answer cache:
+			// zero messages on the wire, same answer set as the run that
+			// populated it (the epoch guarantees no mutation since).
+			cached := val.([]Event)
+			res := RunResult{
+				Events: append([]Event(nil), cached...),
+				Route:  "cached",
+			}
+			for _, e := range res.Events {
+				res.TotalAnswers += e.Answers
+			}
+			b.journal.Append(obs.Event{
+				Kind: obs.EvCacheHit, Query: b.qid,
+				Reason: "base", Count: res.TotalAnswers,
+			})
+			return res
+		}
+		b.journal.Append(obs.Event{Kind: obs.EvCacheMiss, Query: b.qid})
+		// Epoch before the round runs: a mutation racing the query makes
+		// the entry stale rather than masking it.
+		epoch = b.qr.Epoch()
+		addrs := make([]string, len(targets))
+		for i, w := range targets {
+			addrs[i] = nodeAddr(w)
+		}
+		plan := b.qr.Select([]string{b.p.Query}, addrs, ttl, now)
+		ttl = plan.TTL
+		targets = make([]int, len(plan.Targets))
+		for i, a := range plan.Targets {
+			targets[i] = nodeFromEnvAddr(a)
+		}
+		switch {
+		case plan.Selective:
+			route = "selective"
+			b.journal.Append(obs.Event{
+				Kind: obs.EvSelectiveRoute, Query: b.qid,
+				Count: len(plan.Targets), K: len(addrs), Hops: int(plan.TTL),
+			})
+		case plan.Explored:
+			route = "explore"
+		}
+	}
 	// Issued before the fan-out, like the live node, so the journal's
 	// answered events always follow their query.
 	b.journal.Append(obs.Event{
@@ -282,21 +368,26 @@ func (b *bpSim) runRound() RunResult {
 		Query:    b.qid,
 		Strategy: b.strategyName,
 		Hops:     int(ttl),
-		Count:    len(b.peers[b.tp.Base]),
+		Count:    len(targets),
 	})
-	for _, w := range b.peers[b.tp.Base] {
+	for _, w := range targets {
 		env := &wire.Envelope{
 			Kind: wire.KindAgent, ID: wire.NewMsgID(), TTL: ttl, Hops: 1,
 			From: b.baseAt, To: nodeAddr(w),
+		}
+		if b.qr != nil {
+			env.QRoute = &wire.QRoute{Via: nodeAddr(w)}
 		}
 		b.net.Send(b.baseAt, nodeAddr(w), env, b.requestSize())
 	}
 	b.sim.Run()
 
 	res := RunResult{
-		Events: append([]Event(nil), b.events...),
-		Msgs:   b.net.MsgsDelivered - msgs0,
-		Bytes:  b.net.BytesDelivered - bytes0,
+		Events:   append([]Event(nil), b.events...),
+		Msgs:     b.net.MsgsDelivered - msgs0,
+		Bytes:    b.net.BytesDelivered - bytes0,
+		MsgsSent: b.net.MsgsSent - sent0,
+		Route:    route,
 	}
 	for _, e := range res.Events {
 		res.TotalAnswers += e.Answers
@@ -305,6 +396,10 @@ func (b *bpSim) runRound() RunResult {
 		}
 	}
 	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].At < res.Events[j].At })
+	if b.qr != nil {
+		b.qr.PutBase(b.p.Query, append([]Event(nil), b.events...),
+			len(b.events)*48, len(b.events) == 0, epoch, b.simTime())
+	}
 	b.journal.Append(obs.Event{Kind: obs.EvQueryCompleted, Query: b.qid, Count: res.TotalAnswers})
 	return res
 }

@@ -220,9 +220,11 @@ func RunCS(tp *topology.Topology, p Params, singleThread bool) RunResult {
 	c.sim.Run()
 
 	res := RunResult{
-		Events: append([]Event(nil), c.events...),
-		Msgs:   c.net.MsgsDelivered,
-		Bytes:  c.net.BytesDelivered,
+		Events:   append([]Event(nil), c.events...),
+		Msgs:     c.net.MsgsDelivered,
+		Bytes:    c.net.BytesDelivered,
+		MsgsSent: c.net.MsgsSent,
+		Route:    "flood",
 	}
 	for _, e := range res.Events {
 		res.TotalAnswers += e.Answers

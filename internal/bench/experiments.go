@@ -424,5 +424,6 @@ func AllFigures(cost CostModel, seed int64) []*Figure {
 		AblationStrategies(cost, seed), AblationCompression(cost, seed),
 		AblationColdClass(cost, seed), AblationResultMode(cost, seed),
 		AblationShipping(cost, seed), TrafficTable(cost, seed),
+		FigTraffic(cost, seed),
 	}
 }

@@ -128,7 +128,7 @@ func (g *gnuSim) runRound() RunResult {
 	g.route[g.tp.Base] = g.tp.Base
 	g.events = nil
 	g.started = g.sim.Now()
-	msgs0, bytes0 := g.net.MsgsDelivered, g.net.BytesDelivered
+	msgs0, bytes0, sent0 := g.net.MsgsDelivered, g.net.BytesDelivered, g.net.MsgsSent
 
 	for _, w := range g.tp.Peers(g.tp.Base) {
 		env := &wire.Envelope{
@@ -141,9 +141,11 @@ func (g *gnuSim) runRound() RunResult {
 	g.sim.Run()
 
 	res := RunResult{
-		Events: append([]Event(nil), g.events...),
-		Msgs:   g.net.MsgsDelivered - msgs0,
-		Bytes:  g.net.BytesDelivered - bytes0,
+		Events:   append([]Event(nil), g.events...),
+		Msgs:     g.net.MsgsDelivered - msgs0,
+		Bytes:    g.net.BytesDelivered - bytes0,
+		MsgsSent: g.net.MsgsSent - sent0,
+		Route:    "flood",
 	}
 	for _, e := range res.Events {
 		res.TotalAnswers += e.Answers

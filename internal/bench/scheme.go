@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bestpeer/internal/qroute"
 	"bestpeer/internal/topology"
 	"bestpeer/internal/workload"
 )
@@ -40,6 +41,10 @@ type Params struct {
 	// filters locally. This is the alternative §6 of the paper discusses
 	// choosing between at runtime.
 	DataShip bool
+	// QRoute enables the answer cache + learned selective routing at the
+	// simulated base node. The zero value keeps plain flooding, exactly
+	// like a live node with the subsystem off.
+	QRoute qroute.Options
 }
 
 func (p Params) withDefaults() Params {
@@ -75,9 +80,17 @@ type RunResult struct {
 	Events []Event
 	// TotalAnswers sums Events' answers.
 	TotalAnswers int
-	// Msgs and Bytes are total network traffic during the run.
-	Msgs  uint64
-	Bytes uint64
+	// Msgs and Bytes count delivered traffic during the run; MsgsSent
+	// counts messages handed to the network, whether or not they arrived
+	// before quiescence. All three come from the netsim.Network counters
+	// — the one accounting path every scheme shares.
+	Msgs     uint64
+	Bytes    uint64
+	MsgsSent uint64
+	// Route records how the round's fan-out was planned: "flood",
+	// "selective", "explore", or "cached" when the whole answer set was
+	// served from the base's cache without touching the network.
+	Route string
 }
 
 // nodeAddr names simulated hosts.

@@ -1,13 +1,19 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"bestpeer/internal/agent"
 	"bestpeer/internal/liglo"
 	"bestpeer/internal/obs"
+	"bestpeer/internal/qroute"
 	"bestpeer/internal/storm"
 	"bestpeer/internal/topology"
 	"bestpeer/internal/transport"
@@ -319,6 +325,123 @@ func TestChaosPartitionMetricsAccountForLoss(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// chaosVersion encodes a mutation counter as object data so an answer
+// reveals which store generation produced it.
+func chaosVersion(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// TestChaosNoStaleCachedAnswersUnderMutation is the qroute freshness
+// invariant under fire: with 25% message loss and every serving node's
+// store being rewritten concurrently, no node may serve a cached answer
+// from a stale epoch. Each node's object carries a version counter and
+// each mutator publishes the committed version only after Put returns —
+// since Put fires the epoch hook before returning, any answer observed
+// by a query that started afterwards must carry at least that version.
+func TestChaosNoStaleCachedAnswersUnderMutation(t *testing.T) {
+	const (
+		n      = 5
+		rounds = 50
+	)
+	fab := faultnet.New(transport.NewInProc(), 6)
+	c := newCluster(t, n, func(i int, cfg *Config) {
+		cfg.Network = fab.Host(cfg.ListenAddr)
+		cfg.Transport = chaosTransport()
+		if i != 0 {
+			// Caching at the serving nodes only: a base-site cache would
+			// hold remote answers whose staleness is bounded by TTL, not
+			// by the remote store's epoch, and mask the serve-site checks.
+			cfg.QRoute = qroute.Options{Enable: true, Route: qroute.RouteOptions{Epsilon: -1}}
+		}
+	}, func(i int, s *storm.Store) {
+		s.Put(&storm.Object{
+			Name:     fmt.Sprintf("v-%d", i),
+			Keywords: []string{"hot"},
+			Data:     chaosVersion(0),
+		})
+	})
+	c.wire(topology.Random(n, 3, 4))
+	fab.SetConfig(faultnet.Config{DropProb: 0.25})
+
+	// One mutator per serving node: rewrite the object, then publish the
+	// committed version. The Sleep leaves room for several queries per
+	// generation so the caches actually get hit between invalidations.
+	var committed [n]atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for v := uint64(1); ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.nodes[i].Store().Put(&storm.Object{
+					Name:     fmt.Sprintf("v-%d", i),
+					Keywords: []string{"hot"},
+					Data:     chaosVersion(v),
+				}); err != nil {
+					t.Errorf("mutator %d: %v", i, err)
+					return
+				}
+				committed[i].Store(v)
+				// Several query rounds fit in one generation, so caches
+				// get hit between invalidations.
+				time.Sleep(60 * time.Millisecond)
+			}
+		}(i)
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	base := c.nodes[0]
+	for r := 0; r < rounds; r++ {
+		var floor [n]uint64
+		for i := 1; i < n; i++ {
+			floor[i] = committed[i].Load()
+		}
+		res, err := base.Query(&agent.KeywordAgent{Query: "hot"}, QueryOptions{
+			Timeout:       15 * time.Millisecond,
+			NoReconfigure: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range res.Answers {
+			idx, err := strconv.Atoi(strings.TrimPrefix(a.Result.Name, "v-"))
+			if err != nil || idx < 0 || idx >= n {
+				t.Fatalf("unexpected answer %q", a.Result.Name)
+			}
+			if len(a.Result.Data) != 8 {
+				t.Fatalf("answer %q has no version payload", a.Result.Name)
+			}
+			got := binary.BigEndian.Uint64(a.Result.Data)
+			if got < floor[idx] {
+				t.Fatalf("round %d: node %d served version %d, but %d was committed "+
+					"before the query started (cached=%v) — stale epoch leaked",
+					r, idx, got, floor[idx], a.Cached)
+			}
+		}
+	}
+
+	// The invariant is vacuous if the caches were never exercised: the
+	// serving nodes must have answered from cache at least once across
+	// the run.
+	hits := uint64(0)
+	for i := 1; i < n; i++ {
+		s := c.nodes[i].CacheStats()
+		hits += s.Cache.Hits + s.Cache.NegativeHits
+	}
+	if hits == 0 {
+		t.Fatal("no serve-site cache hits across the run; the test exercised nothing")
+	}
+	t.Logf("serve-site hits=%d drops=%+v", hits, fab.Stats())
 }
 
 // TestChaosLigloFailover kills LIGLO servers under a node's feet:

@@ -5,6 +5,7 @@ import (
 
 	"bestpeer/internal/agent"
 	"bestpeer/internal/obs"
+	"bestpeer/internal/qroute"
 	"bestpeer/internal/wire"
 )
 
@@ -184,23 +185,72 @@ func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet, arrived ti
 		n.dropAgent(env, "decode")
 		return
 	}
-	ctx := &agent.Context{
-		Store:       n.store,
-		NodeAddr:    n.Addr(),
-		Hops:        int(env.Hops),
-		Requester:   packet.BaseID,
-		AccessLevel: packet.AccessLevel,
-		ActiveNodes: n.active,
+	// qroute serve-site cache: an identical fingerprint seen since the
+	// last store mutation skips the store scan entirely. The epoch is
+	// read before the lookup/execution so a racing mutation invalidates
+	// the entry rather than being masked by it.
+	var (
+		sKey     string
+		sEpoch   uint64
+		served   bool
+		negative bool
+		results  []agent.Result
+		execErr  error
+	)
+	if n.qr != nil {
+		if fp, ok := ag.(agent.Fingerprinter); ok {
+			if k := fp.QueryKey(); k != "" {
+				sKey = qroute.Key(packet.Class, packet.Mode, packet.AccessLevel, k)
+			}
+		}
 	}
-	start := time.Now()
-	results, err := ag.Execute(ctx)
-	n.m.execSeconds.ObserveDuration(time.Since(start))
-	n.m.agentsExecuted.Inc()
-	if span != nil {
-		span.ExecNS = time.Since(start).Nanoseconds()
-		span.Matches = len(results)
+	if sKey != "" {
+		sEpoch = n.qr.Epoch()
+		if val, neg, ok := n.qr.GetServe(sKey, time.Now()); ok {
+			served, negative = true, neg
+			if !neg {
+				results = val.([]agent.Result)
+			}
+		}
 	}
-	if err != nil || len(results) == 0 {
+	if served {
+		reason := "serve"
+		if negative {
+			reason = "negative"
+		}
+		n.journal.Append(obs.Event{
+			Kind:   obs.EvCacheHit,
+			Query:  env.ID.String(),
+			Peer:   env.From,
+			Reason: reason,
+			Count:  len(results),
+		})
+		if span != nil {
+			span.Matches = len(results)
+		}
+	} else {
+		ctx := &agent.Context{
+			Store:       n.store,
+			NodeAddr:    n.Addr(),
+			Hops:        int(env.Hops),
+			Requester:   packet.BaseID,
+			AccessLevel: packet.AccessLevel,
+			ActiveNodes: n.active,
+		}
+		start := time.Now()
+		results, execErr = ag.Execute(ctx)
+		n.m.execSeconds.ObserveDuration(time.Since(start))
+		n.m.agentsExecuted.Inc()
+		if span != nil {
+			span.ExecNS = time.Since(start).Nanoseconds()
+			span.Matches = len(results)
+		}
+		if sKey != "" && execErr == nil {
+			n.qr.PutServe(sKey, results, resultsSize(results),
+				len(results) == 0, sEpoch, time.Now())
+		}
+	}
+	if execErr != nil || len(results) == 0 {
 		if span != nil {
 			n.reportSpan(env.Trace, span)
 		}
@@ -223,15 +273,34 @@ func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet, arrived ti
 		n.tracer.Record(env.Trace.QueryID, *span)
 		span = nil
 	}
+	// The result envelope echoes the clone's Via stamp so the base can
+	// credit the entry neighbor, and carries cached provenance plus the
+	// serving epoch when the answer came from this node's cache.
+	var rqr *wire.QRoute
+	if env.QRoute != nil {
+		rqr = &wire.QRoute{Via: env.QRoute.Via, Cached: served, Epoch: sEpoch}
+	} else if served {
+		rqr = &wire.QRoute{Cached: true, Epoch: sEpoch}
+	}
 	n.send(packet.Base, &wire.Envelope{
-		Kind: kind,
-		ID:   env.ID, // answers carry the query id so the base can route them
-		TTL:  1,
-		From: n.Addr(),
-		To:   packet.Base,
-		Body: agent.EncodeResults(results, int(env.Hops), n.ID(), n.Addr()),
-		Span: span,
+		Kind:   kind,
+		ID:     env.ID, // answers carry the query id so the base can route them
+		TTL:    1,
+		From:   n.Addr(),
+		To:     packet.Base,
+		Body:   agent.EncodeResults(results, int(env.Hops), n.ID(), n.Addr()),
+		Span:   span,
+		QRoute: rqr,
 	})
+}
+
+// resultsSize estimates a result set's cache footprint.
+func resultsSize(results []agent.Result) int {
+	size := 0
+	for _, r := range results {
+		size += answerOverhead + len(r.Name) + len(r.Data)
+	}
+	return size
 }
 
 // handleResult routes an incoming answer batch to its query, recording
@@ -256,7 +325,17 @@ func (n *Node) handleResult(env *wire.Envelope, hint bool) {
 		Hops:  batch.Hops,
 		Count: len(batch.Results),
 	})
-	v.(*queryState).deliver(batch, hint)
+	qs := v.(*queryState)
+	cached := false
+	if env.QRoute != nil {
+		cached = env.QRoute.Cached
+		if env.QRoute.Via != "" {
+			// Credit the direct peer this batch entered the network
+			// through so later queries on the same terms route to it.
+			n.qr.Observe(qs.terms, env.QRoute.Via, len(batch.Results), batch.Hops, time.Now())
+		}
+	}
+	qs.deliver(batch, hint, cached)
 }
 
 // handleFetch serves a mode-2 follow-up: read the named objects, apply

@@ -18,6 +18,7 @@ import (
 	"bestpeer/internal/agent"
 	"bestpeer/internal/liglo"
 	"bestpeer/internal/obs"
+	"bestpeer/internal/qroute"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/storm"
 	"bestpeer/internal/transport"
@@ -83,6 +84,10 @@ type Config struct {
 	// JournalCapacity caps the node's structured event journal ring.
 	// Zero selects the obs default (1024).
 	JournalCapacity int
+	// QRoute configures the query answer cache and learned selective
+	// routing. The zero value disables the subsystem, keeping the paper's
+	// plain flood-everything behavior.
+	QRoute qroute.Options
 }
 
 // Node is a live BestPeer participant.
@@ -121,6 +126,10 @@ type Node struct {
 	tracer  *obs.Tracer
 	journal *obs.Journal
 	m       nodeMetrics
+
+	// qr is the qroute engine; nil means the subsystem is disabled (every
+	// qroute method is nil-safe, so call sites carry no gating).
+	qr *qroute.Engine
 }
 
 // Stats counts node activity. It is a point-in-time snapshot assembled
@@ -267,6 +276,16 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n.bindMetrics(mreg)
 	cfg.Store.RegisterMetrics(mreg)
+	n.qr = qroute.NewEngine(cfg.QRoute, mreg)
+	if n.qr != nil {
+		// Any committed store mutation retires every cached answer: the
+		// hook fires after commit but before the mutating call returns, so
+		// a writer never observes its own write missing from later queries.
+		cfg.Store.OnMutation(func() {
+			dropped := n.qr.BumpEpoch()
+			n.journal.Append(obs.Event{Kind: obs.EvCacheInvalidated, Count: dropped})
+		})
+	}
 	m, err := transport.NewMessengerOpts(cfg.Network, cfg.ListenAddr, n.handle, cfg.Transport)
 	if err != nil {
 		return nil, err
@@ -317,6 +336,10 @@ func (n *Node) Stats() Stats {
 // Metrics returns the node's metric registry.
 func (n *Node) Metrics() *obs.Registry { return n.metrics }
 
+// CacheStats snapshots the node's qroute subsystem (answer cache plus
+// routing index); Enabled is false when the subsystem is off.
+func (n *Node) CacheStats() qroute.Stats { return n.qr.Stats() }
+
 // Journal returns the node's structured event journal.
 func (n *Node) Journal() *obs.Journal { return n.journal }
 
@@ -358,6 +381,7 @@ func (n *Node) ServeAdmin(addr string) (*obs.AdminServer, error) {
 			}
 		},
 		Peers: func() any { return n.Peers() },
+		Cache: func() any { return n.qr.Stats() },
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"bestpeer/internal/agent"
 	"bestpeer/internal/obs"
+	"bestpeer/internal/qroute"
 	"bestpeer/internal/reconfig"
 	"bestpeer/internal/wire"
 )
@@ -41,6 +42,10 @@ type Answer struct {
 	Result agent.Result
 	// At is when the answer arrived, measured from query start.
 	At time.Duration
+	// Cached reports that this answer was served from a qroute answer
+	// cache — the base's own (a whole-query hit) or a remote peer's
+	// serve-site cache — rather than a fresh store scan.
+	Cached bool
 }
 
 // QueryResult is everything a query produced.
@@ -55,6 +60,9 @@ type QueryResult struct {
 	Elapsed time.Duration
 	// Reconfigured reports whether the peer set changed afterwards.
 	Reconfigured bool
+	// Cached reports that the whole query was answered from the base's
+	// answer cache: no agents were spawned or forwarded.
+	Cached bool
 }
 
 // queryState accumulates answers for an outstanding query.
@@ -68,6 +76,12 @@ type queryState struct {
 	first   chan struct{} // closed when the first reply batch arrives
 	closed  bool
 	replied bool
+
+	// terms are the query's routing-fingerprint terms, set once before
+	// the state is published and read by handleResult to credit the
+	// neighbor each answer batch arrived via. Empty when the agent has no
+	// fingerprint or qroute is disabled.
+	terms []string
 }
 
 func newQueryState(target int) *queryState {
@@ -79,7 +93,7 @@ func newQueryState(target int) *queryState {
 	}
 }
 
-func (q *queryState) deliver(batch *agent.ResultBatch, hint bool) {
+func (q *queryState) deliver(batch *agent.ResultBatch, hint, cached bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -97,6 +111,7 @@ func (q *queryState) deliver(batch *agent.ResultBatch, hint bool) {
 			Hops:     batch.Hops,
 			Result:   r,
 			At:       at,
+			Cached:   cached,
 		}
 		if hint {
 			q.hints = append(q.hints, a)
@@ -139,10 +154,38 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 	if timeout <= 0 {
 		timeout = time.Second
 	}
-
 	qid := wire.NewMsgID()
+
+	// qroute: a fingerprintable query can be answered from the base's
+	// answer cache and fanned out selectively. SkipLocal queries are not
+	// cacheable — a cached answer set includes the base's own matches.
+	var (
+		qKey   string
+		qTerms []string
+	)
+	if n.qr != nil {
+		if fp, ok := ag.(agent.Fingerprinter); ok {
+			if k := fp.QueryKey(); k != "" {
+				qKey = qroute.Key(ag.Class(), mode, n.cfg.AccessLevel, k)
+				qTerms = fp.QueryTerms()
+			}
+		}
+	}
+	cacheable := qKey != "" && !opts.SkipLocal
+	if cacheable {
+		if val, negative, ok := n.qr.GetBase(qKey, time.Now()); ok {
+			return n.cachedResult(qid, val, negative), nil
+		}
+		n.journal.Append(obs.Event{Kind: obs.EvCacheMiss, Query: qid.String()})
+	}
+	// qEpoch versions the answer set about to be gathered. It is read
+	// before any store access so a mutation racing the collection window
+	// invalidates the cached entry instead of being masked by it.
+	qEpoch := n.qr.Epoch()
+
 	n.seen.Seen(qid) // never re-execute our own agent if it loops back
 	qs := newQueryState(opts.WaitAnswers)
+	qs.terms = qTerms
 	n.queries.Store(qid, qs)
 	defer n.queries.Delete(qid)
 	n.m.queries.Inc()
@@ -193,7 +236,7 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 			}
 			qs.deliver(&agent.ResultBatch{
 				FromAddr: n.Addr(), From: n.ID(), Hops: 0, Results: local,
-			}, mode == 2)
+			}, mode == 2, false)
 		}
 	}
 
@@ -204,18 +247,39 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 	// trace context so every hop can report a span back to this base.
 	me := n.Addr()
 	tc := &wire.TraceContext{QueryID: qid, Base: me}
-	for _, p := range n.Peers() {
+	// The routing index prunes the fan-out to the neighbors that answered
+	// this query's terms before, with the TTL scoped to the depth those
+	// answers came from; low confidence or ε-exploration floods instead
+	// (and a disabled engine always floods at full TTL).
+	neighbors := n.PeerAddrs()
+	plan := n.qr.Select(qTerms, neighbors, ttl, time.Now())
+	if plan.Selective {
+		n.journal.Append(obs.Event{
+			Kind:  obs.EvSelectiveRoute,
+			Query: qid.String(),
+			Count: len(plan.Targets),
+			K:     len(neighbors),
+			Hops:  int(plan.TTL),
+		})
+	}
+	for _, addr := range plan.Targets {
 		env := &wire.Envelope{
 			Kind:  wire.KindAgent,
 			ID:    qid,
-			TTL:   ttl,
+			TTL:   plan.TTL,
 			Hops:  1, // arriving at a direct peer means one hop travelled
 			From:  me,
-			To:    p.Addr,
+			To:    addr,
 			Body:  body,
 			Trace: tc,
 		}
-		n.send(p.Addr, env)
+		if n.qr != nil {
+			// Via stamps which direct peer this clone entered the network
+			// through; every answer it provokes carries the stamp back so
+			// handleResult can credit that neighbor in the routing index.
+			env.QRoute = &wire.QRoute{Via: addr}
+		}
+		n.send(addr, env)
 		localSpan.FanOut++
 	}
 	n.tracer.Record(qid, localSpan)
@@ -237,10 +301,78 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 		Query: qid.String(),
 		Count: len(answers) + len(hints),
 	})
+	if cacheable {
+		// The stored copies are private to the cache so a caller mutating
+		// the returned slices cannot corrupt later hits. An empty round
+		// becomes a short-lived negative entry.
+		n.qr.PutBase(qKey, &cachedAnswers{
+			answers: append([]Answer(nil), answers...),
+			hints:   append([]Answer(nil), hints...),
+		}, answersSize(answers, hints), len(answers)+len(hints) == 0, qEpoch, time.Now())
+	}
 	if !opts.NoReconfigure {
 		res.Reconfigured = n.reconfigure(qid, answers, hints)
 	}
 	return res, nil
+}
+
+// cachedAnswers is the value stored at the base cache site: one query's
+// whole collected answer set.
+type cachedAnswers struct {
+	answers []Answer
+	hints   []Answer
+}
+
+// cachedResult materializes a base-cache hit as a QueryResult: the query
+// is answered locally with zero fan-out, and every answer carries the
+// cached-provenance flag.
+func (n *Node) cachedResult(qid wire.MsgID, val any, negative bool) *QueryResult {
+	start := time.Now()
+	n.m.queries.Inc()
+	res := &QueryResult{ID: qid, Cached: true}
+	reason := "negative"
+	if !negative {
+		ca := val.(*cachedAnswers)
+		res.Answers = flagCached(ca.answers)
+		res.Hints = flagCached(ca.hints)
+		reason = "base"
+	}
+	n.journal.Append(obs.Event{
+		Kind:   obs.EvCacheHit,
+		Query:  qid.String(),
+		Reason: reason,
+		Count:  len(res.Answers) + len(res.Hints),
+	})
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// flagCached copies an answer list with the cached-provenance flag set.
+func flagCached(in []Answer) []Answer {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]Answer, len(in))
+	for i, a := range in {
+		a.Cached = true
+		out[i] = a
+	}
+	return out
+}
+
+// answerOverhead approximates one Answer's fixed footprint for cache
+// byte accounting.
+const answerOverhead = 64
+
+// answersSize estimates an answer set's cache footprint.
+func answersSize(lists ...[]Answer) int {
+	size := 0
+	for _, l := range lists {
+		for _, a := range l {
+			size += answerOverhead + len(a.PeerAddr) + len(a.Result.Name) + len(a.Result.Data)
+		}
+	}
+	return size
 }
 
 // reconfigure applies the node's strategy to what this query revealed:

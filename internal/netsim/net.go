@@ -80,7 +80,10 @@ type Network struct {
 	// completion time — the regime the paper's testbed ran in.
 	medium *Resource
 
-	// Global stats.
+	// Global stats. Sent counters increment at the moment of Send (the
+	// scheme's traffic cost); delivered counters at handler dispatch.
+	MsgsSent       uint64
+	BytesSent      uint64
 	MsgsDelivered  uint64
 	BytesDelivered uint64
 }
@@ -169,6 +172,8 @@ func (n *Network) Send(from, to string, env *wire.Envelope, size int) {
 
 	src.MsgsSent++
 	src.BytesSent += uint64(size)
+	n.MsgsSent++
+	n.BytesSent += uint64(size)
 
 	deliver := func() {
 		dst.MsgsRecvd++

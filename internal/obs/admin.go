@@ -21,6 +21,7 @@ type AdminConfig struct {
 	Journal  *Journal   // event journal behind /events; nil serves 404
 	Health   func() any // payload for /healthz; nil serves {"status":"ok"}
 	Peers    func() any // payload for /peers; nil serves 404
+	Cache    func() any // payload for /cache (qroute stats); nil serves 404
 }
 
 // NewAdminMux builds the admin HTTP handler:
@@ -29,6 +30,7 @@ type AdminConfig struct {
 //	/metrics.json  JSON snapshot of every metric family
 //	/healthz       liveness payload
 //	/peers         current peer view
+//	/cache         qroute answer-cache and routing-index stats
 //	/events        event journal page (?since=<cursor>&max=<n>)
 //	/queries/      recent query traces (ids); /queries/<id> is one trace
 //	/debug/pprof/  the standard runtime profiles
@@ -55,6 +57,13 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 			return
 		}
 		writeAdminJSON(w, cfg.Peers())
+	})
+	mux.HandleFunc("/cache", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Cache == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeAdminJSON(w, cfg.Cache())
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		if cfg.Journal == nil {

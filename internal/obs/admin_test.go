@@ -44,6 +44,7 @@ func TestAdminEndpoints(t *testing.T) {
 		Journal:  journal,
 		Health:   func() any { return map[string]string{"status": "ok", "addr": "base:1"} },
 		Peers:    func() any { return []string{"b:2", "c:3"} },
+		Cache:    func() any { return map[string]any{"enabled": true, "epoch": 7} },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -82,6 +83,11 @@ func TestAdminEndpoints(t *testing.T) {
 	code, body, _ = adminGet(t, base+"/peers")
 	if code != 200 || !strings.Contains(body, `"b:2"`) {
 		t.Fatalf("/peers = %d:\n%s", code, body)
+	}
+
+	code, body, _ = adminGet(t, base+"/cache")
+	if code != 200 || !strings.Contains(body, `"epoch": 7`) {
+		t.Fatalf("/cache = %d:\n%s", code, body)
 	}
 
 	code, body, _ = adminGet(t, base+"/events")

@@ -65,6 +65,21 @@ const (
 	// EvMemberExpired: a LIGLO server dropped a member that stayed
 	// offline past the expiry window.
 	EvMemberExpired EventKind = "member-expired"
+	// EvCacheHit: the qroute answer cache served a query without work
+	// (Reason: "base" for a whole-query hit with zero fan-out, "serve"
+	// for a peer skipping its store scan, "negative" for a cached
+	// no-match); Count is the answers served.
+	EvCacheHit EventKind = "cache-hit"
+	// EvCacheMiss: a fingerprintable query missed the base answer cache
+	// and fell through to the normal fan-out path.
+	EvCacheMiss EventKind = "cache-miss"
+	// EvCacheInvalidated: a store mutation bumped the cache epoch; Count
+	// is how many cached entries that made unservable.
+	EvCacheInvalidated EventKind = "cache-invalidated"
+	// EvSelectiveRoute: the learned routing index pruned a fan-out;
+	// Count is the targets chosen, K the candidate neighbors, Hops the
+	// scoped TTL sent with the clones.
+	EvSelectiveRoute EventKind = "selective-route"
 )
 
 // Kinds is the complete event-kind registry; the eventdrift analyzer
@@ -86,6 +101,10 @@ var Kinds = []EventKind{
 	EvMemberOnline,
 	EvMemberOffline,
 	EvMemberExpired,
+	EvCacheHit,
+	EvCacheMiss,
+	EvCacheInvalidated,
+	EvSelectiveRoute,
 }
 
 // PeerScore is one candidate's line in a reconfiguration decision: the

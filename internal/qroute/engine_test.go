@@ -1,0 +1,100 @@
+package qroute
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bestpeer/internal/obs"
+)
+
+func TestNilEngineIsDisabled(t *testing.T) {
+	var e *Engine
+	if _, _, ok := e.GetBase("k", t0); ok {
+		t.Fatal("nil engine must miss")
+	}
+	e.PutBase("k", 1, 1, false, 0, t0) // must not panic
+	e.Observe([]string{"t"}, "a", 1, 1, t0)
+	if p := e.Select([]string{"t"}, []string{"a"}, 7, t0); p.Selective {
+		t.Fatal("nil engine must flood")
+	}
+	if s := e.Stats(); s.Enabled {
+		t.Fatal("nil engine must report disabled")
+	}
+	if e.BumpEpoch() != 0 || e.Epoch() != 0 {
+		t.Fatal("nil engine epoch must be inert")
+	}
+}
+
+func TestNewEngineGatedOnEnable(t *testing.T) {
+	if NewEngine(Options{}, nil) != nil {
+		t.Fatal("disabled options must produce a nil engine")
+	}
+	if NewEngine(Options{Enable: true}, nil) == nil {
+		t.Fatal("enabled options must produce an engine")
+	}
+}
+
+func TestEngineSitesDoNotAlias(t *testing.T) {
+	e := NewEngine(Options{Enable: true}, nil)
+	e.PutBase("k", "base-val", 8, false, e.Epoch(), t0)
+	if _, _, ok := e.GetServe("k", t0); ok {
+		t.Fatal("base entry must not be visible at the serve site")
+	}
+	if v, _, ok := e.GetBase("k", t0); !ok || v.(string) != "base-val" {
+		t.Fatal("base entry lost")
+	}
+}
+
+func TestEngineMetricsAndStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := NewEngine(Options{Enable: true, Route: RouteOptions{Epsilon: -1}}, reg)
+	e.GetBase("k", t0) // miss
+	e.PutBase("k", "v", 1, false, e.Epoch(), t0)
+	e.GetBase("k", t0) // hit
+	e.PutServe("k", nil, 0, true, e.Epoch(), t0)
+	e.GetServe("k", t0) // negative hit
+	e.Select(nil, []string{"a"}, 7, t0)
+	e.Observe([]string{"t"}, "a", 3, 1, t0)
+	e.Select([]string{"t"}, []string{"a"}, 7, t0.Add(time.Millisecond))
+	e.BumpEpoch()
+
+	s := e.Stats()
+	if !s.Enabled || s.Cache.Hits != 1 || s.Cache.NegativeHits != 1 ||
+		s.Cache.Misses != 1 || s.Cache.Invalidated != 2 ||
+		s.Flood != 1 || s.Selective != 1 || s.Terms != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"bestpeer_qroute_cache_hits_total",
+		"bestpeer_qroute_cache_misses_total",
+		"bestpeer_qroute_cache_evictions_total",
+		"bestpeer_qroute_cache_invalidations_total",
+		"bestpeer_qroute_routes_total",
+		"bestpeer_qroute_cache_entries",
+		"bestpeer_qroute_epoch",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metric family %q not exported", want)
+		}
+	}
+}
+
+func TestKeyComposition(t *testing.T) {
+	a := Key("storm.keyword", 1, 0, "jazz")
+	b := Key("storm.keyword", 2, 0, "jazz")
+	c := Key("storm.keyword", 1, 3, "jazz")
+	d := Key("storm.digest", 1, 0, "jazz")
+	if a == b || a == c || a == d {
+		t.Fatal("mode, access level and class must all distinguish keys")
+	}
+	if a != Key("storm.keyword", 1, 0, "jazz") {
+		t.Fatal("key building must be deterministic")
+	}
+}

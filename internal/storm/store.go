@@ -79,6 +79,33 @@ type Store struct {
 	// ordered for deterministic placement.
 	pagesWithSpace map[PageID]int
 	dataPages      []PageID
+
+	// hookMu guards mutationHooks; see OnMutation.
+	hookMu        sync.RWMutex
+	mutationHooks []func()
+}
+
+// OnMutation registers fn to run after every successful Put or Delete
+// has committed. Hooks run synchronously on the mutating goroutine, with
+// the store lock released, before the operation returns — so anything a
+// hook observes (e.g. bumping a cache-invalidation epoch) is ordered
+// strictly after the mutation became visible to readers. Hooks must be
+// fast and must not call back into the store. WAL replay at Open does
+// not fire hooks: it completes before any hook can be registered.
+func (s *Store) OnMutation(fn func()) {
+	s.hookMu.Lock()
+	s.mutationHooks = append(s.mutationHooks, fn)
+	s.hookMu.Unlock()
+}
+
+// notifyMutation runs the registered mutation hooks.
+func (s *Store) notifyMutation() {
+	s.hookMu.RLock()
+	hooks := s.mutationHooks
+	s.hookMu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Open opens the store at path, creating it if absent.
@@ -376,7 +403,11 @@ func (s *Store) Put(obj *Object) (OID, error) {
 			return OID{}, err
 		}
 	}
-	return s.putUnlogged(obj)
+	oid, err := s.putUnlogged(obj)
+	if err == nil {
+		s.notifyMutation()
+	}
+	return oid, err
 }
 
 // putUnlogged performs the insert/replace without logging (used by Put and
@@ -561,7 +592,11 @@ func (s *Store) Delete(name string) error {
 			return err
 		}
 	}
-	return s.deleteUnlogged(name)
+	if err := s.deleteUnlogged(name); err != nil {
+		return err
+	}
+	s.notifyMutation()
+	return nil
 }
 
 // deleteUnlogged removes the object without logging (used by Delete and WAL

@@ -47,6 +47,9 @@ func EncodeEnvelope(e *Envelope) ([]byte, error) {
 	if e.Span != nil && len(encodeTraceSpan(e.Span)) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: span extension too large", ErrBadFrame)
 	}
+	if e.QRoute != nil && len(encodeQRoute(e.QRoute)) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: qroute extension too large", ErrBadFrame)
+	}
 	raw := encodeBody(e)
 
 	var flags byte
@@ -83,8 +86,9 @@ func EncodeEnvelope(e *Envelope) ([]byte, error) {
 // original format, and decoders skip tags they do not recognize, so an
 // old encoder's frames parse under a new decoder and vice versa.
 const (
-	extTrace = 1 // TraceContext: per-query trace context
-	extSpan  = 2 // TraceSpan: piggybacked hop record
+	extTrace  = 1 // TraceContext: per-query trace context
+	extSpan   = 2 // TraceSpan: piggybacked hop record
+	extQRoute = 3 // QRoute: routing attribution + cached-answer provenance
 )
 
 // extHeaderSize is the fixed overhead of one extension record.
@@ -108,6 +112,9 @@ func encodeBody(e *Envelope) []byte {
 	}
 	if e.Span != nil {
 		buf = appendExt(buf, extSpan, encodeTraceSpan(e.Span))
+	}
+	if e.QRoute != nil {
+		buf = appendExt(buf, extQRoute, encodeQRoute(e.QRoute))
 	}
 	return buf
 }
@@ -190,6 +197,12 @@ func decodeBody(raw []byte) (*Envelope, error) {
 				return nil, fmt.Errorf("%w: span extension: %v", ErrBadFrame, err)
 			}
 			e.Span = s
+		case extQRoute:
+			q, err := decodeQRoute(payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: qroute extension: %v", ErrBadFrame, err)
+			}
+			e.QRoute = q
 		default:
 			// Unknown extension: tolerated and dropped.
 		}

@@ -105,6 +105,11 @@ type Envelope struct {
 	// format, and decoders skip extension fields they do not know.
 	Trace *TraceContext
 	Span  *TraceSpan
+
+	// QRoute, when non-nil, carries routing attribution (which first-hop
+	// neighbor this agent travelled through) and cached-answer provenance
+	// for the qroute subsystem. Same extension mechanics as Trace/Span.
+	QRoute *QRoute
 }
 
 // Expired reports whether the envelope's lifetime is exhausted.
@@ -134,6 +139,9 @@ func (e *Envelope) WireSize() int {
 	}
 	if e.Span != nil {
 		n += extHeaderSize + len(encodeTraceSpan(e.Span))
+	}
+	if e.QRoute != nil {
+		n += extHeaderSize + len(encodeQRoute(e.QRoute))
 	}
 	return n
 }

@@ -21,6 +21,30 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		Span:  &TraceSpan{Peer: "b:2", Parent: "a:1", Hop: 2, WaitNS: 100, ExecNS: 2000, Matches: 1, FanOut: 3},
 	})
 	f.Add(traced)
+	// New-encoder corpus: qroute provenance extension, alone and stacked
+	// with the trace extensions.
+	q := &QRoute{Via: "a:1", Cached: true, Epoch: 9}
+	routed, _ := EncodeEnvelope(&Envelope{
+		Kind: KindResult, ID: NewMsgID(), TTL: 3, Hops: 2,
+		From: "b:2", To: "base:1", Body: []byte("answers"),
+		QRoute: q,
+	})
+	f.Add(routed)
+	stacked, _ := EncodeEnvelope(&Envelope{
+		Kind: KindAgent, ID: NewMsgID(), TTL: 5, Hops: 1,
+		From: "base:1", To: "a:1", Body: []byte("agent"),
+		Trace:  &TraceContext{QueryID: NewMsgID(), Base: "base:1"},
+		QRoute: &QRoute{Via: "a:1"},
+	})
+	f.Add(stacked)
+	// Old-decoder/new-encoder corpus: the same qroute record under an
+	// unassigned tag, which is how a pre-qroute decoder sees tag 3 —
+	// the decoder must skip it and keep every legacy field.
+	oldView := append([]byte(nil), routed...)
+	if oldView[4] == 0 { // uncompressed: the qroute record is last
+		oldView[len(oldView)-len(encodeQRoute(q))-extHeaderSize] = 200
+	}
+	f.Add(oldView)
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 1, 0})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
@@ -43,6 +67,9 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		}
 		if !reflect.DeepEqual(back.Trace, env.Trace) || !reflect.DeepEqual(back.Span, env.Span) {
 			t.Fatal("re-encode round trip changed the trace extensions")
+		}
+		if !reflect.DeepEqual(back.QRoute, env.QRoute) {
+			t.Fatal("re-encode round trip changed the qroute extension")
 		}
 	})
 }

@@ -1,0 +1,40 @@
+package wire
+
+// QRoute is the query-routing extension carried by agent and result
+// envelopes when the qroute subsystem is enabled. Like TraceContext it
+// travels as a versioned codec extension (see codec.go): envelopes
+// without it encode byte-identically to the legacy layout, old decoders
+// skip it, and old encoders' frames parse under new decoders.
+type QRoute struct {
+	// Via is the base node's first-hop neighbor this agent was routed
+	// through. Peers copy it verbatim onto their out-of-network result
+	// envelopes so the base can attribute each answer batch to the
+	// neighbor that produced it and update its learned routing index.
+	Via string `json:"via,omitempty"`
+	// Cached marks a result batch served from the peer's answer cache
+	// instead of a fresh store scan — the provenance flag surfaced to
+	// requesters.
+	Cached bool `json:"cached,omitempty"`
+	// Epoch is the serving node's store-mutation epoch at serve time.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// encodeQRoute serializes the extension for the codec's qroute field.
+func encodeQRoute(q *QRoute) []byte {
+	var e Encoder
+	e.String(q.Via)
+	e.Bool(q.Cached)
+	e.Uvarint(q.Epoch)
+	return e.Bytes()
+}
+
+func decodeQRoute(payload []byte) (*QRoute, error) {
+	d := NewDecoder(payload)
+	q := &QRoute{Via: d.String()}
+	q.Cached = d.Bool()
+	q.Epoch = d.Uvarint()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
