@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos fuzz cover adminsmoke bench ci clean
+.PHONY: all build vet lint test race chaos fuzz cover adminsmoke bench churnsoak churnbench ci clean
 
 all: build vet lint test
 
@@ -59,12 +59,25 @@ adminsmoke:
 	$(GO) test -race -count=1 -run 'TestFleetObservatorySmoke' ./cmd/bpobs/
 
 # Machine-readable benchmark report: every simulated figure (including
-# the flood-vs-qroute traffic comparison) plus the reconfiguration-
-# convergence timelines, as committed in BENCH_PR5.json and uploaded as
-# a CI artifact.
-BENCHJSON ?= BENCH_PR5.json
+# the flood-vs-qroute traffic comparison and the churn-at-scale run)
+# plus the reconfiguration-convergence timelines, as committed in
+# BENCH_PR6.json and uploaded as a CI artifact.
+BENCHJSON ?= BENCH_PR6.json
 bench:
 	$(GO) run ./cmd/bpbench -fig all -json $(BENCHJSON)
+
+# Bounded race-enabled churn soak: a live 8-node fleet under kill/restart
+# churn with queries flowing, asserting post-churn recall recovery and
+# zero leaked goroutines. ~60s of churn plus recovery and teardown.
+CHURNSOAK_MS ?= 60000
+churnsoak:
+	CHURNSOAK_MS=$(CHURNSOAK_MS) $(GO) test -race -count=1 -timeout 300s \
+		-run 'TestChurnSoak' -v ./internal/bench/
+
+# Churn-at-scale benchmark artifact alone (10k-node simulated fleet).
+CHURNJSON ?= churn-report.json
+churnbench:
+	$(GO) run ./cmd/bpbench -fig churn -json $(CHURNJSON)
 
 ci: build vet lint race fuzz adminsmoke cover
 

@@ -64,6 +64,7 @@ func main() {
 	cache := flag.Bool("cache", false, "enable the query answer cache and learned selective routing")
 	cacheTTL := flag.Duration("cache-ttl", 0, "answer-cache freshness bound for positive entries (0 = default 30s)")
 	logLevel := flag.String("log-level", "", "mirror structured events to stderr at this level: debug, info, warn, error; empty disables")
+	repair := flag.Duration("repair", 15*time.Second, "crash-repair loop interval (wakes early on failure-detector kicks to drop dead peers and backfill degree); 0 disables")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel)
@@ -122,6 +123,11 @@ func main() {
 		fmt.Printf("bestpeer: joined as %v with %d initial peers\n", node.ID(), len(node.Peers()))
 	}
 
+	if *repair > 0 {
+		stopRepair := node.StartRepair(*repair, 0)
+		defer stopRepair()
+	}
+
 	shell(node, store)
 }
 
@@ -170,7 +176,7 @@ func dispatch(node *core.Node, store *storm.Store, line string) bool {
 	case "quit", "exit":
 		return false
 	case "help":
-		fmt.Println("query filter digest hints put get ls peers stats trace cache rejoin quit")
+		fmt.Println("query filter digest hints put get ls peers stats trace cache leave rejoin quit")
 	case "query":
 		runQuery(node, &agent.KeywordAgent{Query: strings.Join(args, " ")}, 1)
 	case "digest":
@@ -219,6 +225,15 @@ func dispatch(node *core.Node, store *storm.Store, line string) bool {
 		runTrace(node, args)
 	case "cache":
 		runCache(node)
+	case "leave":
+		// Graceful departure: peers get Depart notices with replacement
+		// hints, the home LIGLO marks us offline. The process stays up —
+		// "rejoin" re-enters the overlay under the same BPID.
+		if err := node.Leave(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("  left the overlay (rejoin to come back)")
+		}
 	case "rejoin":
 		if err := node.Rejoin(); err != nil {
 			fmt.Println("error:", err)

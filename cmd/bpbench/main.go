@@ -63,7 +63,7 @@ func runLive(seed int64, report *bench.Report) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 5a, 5b, 5c, 6, 7, 8a, 8b, ablations, convergence")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 5a, 5b, 5c, 6, 7, 8a, 8b, ablations, convergence, traffic, churn")
 	seed := flag.Int64("seed", 1, "workload seed")
 	live := flag.Bool("live", false, "also run a miniature live-stack comparison")
 	jsonPath := flag.String("json", "", "also write a machine-readable report (e.g. BENCH_1.json)")
@@ -83,6 +83,20 @@ func main() {
 		report.Convergence = bench.Convergence(cost, *seed)
 	}
 
+	// runChurn renders the churn-at-scale recall timeline and records the
+	// full per-scheme breakdown in the report.
+	runChurn := func() {
+		f, res := bench.FigChurn(bench.DefaultChurnParams(), *seed)
+		run(f)
+		report.Churn = res
+		for _, sr := range res.Schemes {
+			fmt.Printf("churn %-6s mean recall %.3f, post-burst min %.3f, reconverged in %d rounds, %d msgs, %d repairs, cache %d/%d\n",
+				sr.Scheme, sr.MeanRecall, sr.PostBurstMinRecall,
+				sr.RepairConvergenceRounds, sr.Msgs, sr.Repairs, sr.CacheHits, sr.CacheLookups)
+		}
+		fmt.Println()
+	}
+
 	// runTraffic renders the flood-vs-qroute message comparison and
 	// records the per-round breakdown in the report.
 	runTraffic := func() {
@@ -100,6 +114,7 @@ func main() {
 		}
 		runConvergence()
 		report.Traffic = bench.Traffic(cost, *seed)
+		runChurn()
 	case "5a":
 		run(bench.Fig5a(cost, *seed))
 	case "5b":
@@ -125,6 +140,8 @@ func main() {
 	case "traffic":
 		run(bench.TrafficTable(cost, *seed))
 		runTraffic()
+	case "churn":
+		runChurn()
 	default:
 		fmt.Fprintf(os.Stderr, "bpbench: unknown figure %q\n", *fig)
 		flag.Usage()

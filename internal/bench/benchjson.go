@@ -21,6 +21,9 @@ type Report struct {
 	// Traffic holds the flood-vs-qroute message comparison when the
 	// traffic figure was requested.
 	Traffic *TrafficResult `json:"traffic,omitempty"`
+	// Churn holds the churn-at-scale recall/repair comparison when the
+	// churn figure was requested.
+	Churn *ChurnResult `json:"churn,omitempty"`
 }
 
 // SchemeRun is one strategy's live-stack run.

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// testChurnParams scales the committed-figure configuration down to a
+// tier-1 budget (~0.2s) while keeping the flood near its coverage edge,
+// where erosion is visible.
+func testChurnParams() ChurnParams {
+	p := DefaultChurnParams()
+	p.Nodes = 2000
+	p.Horizon = 90 * time.Second
+	p.BurstAt = 45 * time.Second
+	p.Bases = 8
+	p.Keywords = 4
+	p.HoldersPerKeyword = 20
+	return p
+}
+
+func TestChurnSchemes(t *testing.T) {
+	res := Churn(testChurnParams(), 1)
+	bpr := res.SchemeByName("bpr")
+	bps := res.SchemeByName("bps")
+	flood := res.SchemeByName("flood")
+	if bpr == nil || bps == nil || flood == nil {
+		t.Fatalf("missing scheme in %+v", res)
+	}
+	for _, r := range res.Schemes {
+		t.Logf("%s: mean=%.3f final=%.3f postmin=%.3f conv=%d msgs=%d repairs=%d hints=%d departs=%d cache=%d/%d",
+			r.Scheme, r.MeanRecall, r.FinalRecall, r.PostBurstMinRecall, r.RepairConvergenceRounds,
+			r.Msgs, r.Repairs, r.HintAdopts, r.DepartsDelivered, r.CacheHits, r.CacheLookups)
+	}
+
+	// The flood is the recall reference; it must itself be healthy.
+	if flood.MeanRecall < 0.95 {
+		t.Fatalf("flood mean recall %.3f; the reference itself is broken", flood.MeanRecall)
+	}
+	// The headline acceptance bound: reconfigurable BestPeer under churn
+	// keeps recall within 5 points of exhaustive flooding.
+	if bpr.MeanRecall < flood.MeanRecall-0.05 {
+		t.Errorf("bpr mean recall %.3f < flood %.3f - 0.05", bpr.MeanRecall, flood.MeanRecall)
+	}
+	if bpr.FinalRecall < flood.FinalRecall-0.05 {
+		t.Errorf("bpr final recall %.3f < flood %.3f - 0.05", bpr.FinalRecall, flood.FinalRecall)
+	}
+	// ...while spending less traffic (answer cache + selective routing).
+	if bpr.Msgs >= flood.Msgs {
+		t.Errorf("bpr sent %d msgs, flood %d; qroute saved nothing", bpr.Msgs, flood.Msgs)
+	}
+	// Repair must converge after the correlated burst.
+	if bpr.RepairConvergenceRounds < 0 {
+		t.Errorf("bpr never reconverged after the burst")
+	}
+	// The lifecycle machinery actually ran: graceful leaves delivered
+	// Depart notices, hints seeded repairs, the cache served hits.
+	if bpr.DepartsDelivered == 0 || bpr.HintAdopts == 0 || bpr.Repairs == 0 || bpr.CacheHits == 0 {
+		t.Errorf("lifecycle counters flat: %+v", *bpr)
+	}
+	// The static scheme neither probes nor backfills...
+	if bps.Repairs != 0 || bps.HintAdopts != 0 {
+		t.Errorf("bps repaired: %+v", *bps)
+	}
+	// ...and pays for it: its post-burst trough is no better than the
+	// repaired flood's.
+	if bps.PostBurstMinRecall > flood.PostBurstMinRecall {
+		t.Errorf("bps post-burst min %.3f better than repaired flood %.3f",
+			bps.PostBurstMinRecall, flood.PostBurstMinRecall)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	p := testChurnParams()
+	p.Nodes = 500
+	p.Horizon = 45 * time.Second
+	p.BurstAt = 24 * time.Second
+	a := Churn(p, 7)
+	b := Churn(p, 7)
+	for i := range a.Schemes {
+		ra, rb := a.Schemes[i], b.Schemes[i]
+		if ra.Msgs != rb.Msgs || ra.MeanRecall != rb.MeanRecall || len(ra.Samples) != len(rb.Samples) {
+			t.Fatalf("scheme %s not reproducible: %+v vs %+v", ra.Scheme, ra, rb)
+		}
+		for j := range ra.Samples {
+			if ra.Samples[j] != rb.Samples[j] {
+				t.Fatalf("%s sample %d differs: %+v vs %+v", ra.Scheme, j, ra.Samples[j], rb.Samples[j])
+			}
+		}
+	}
+}

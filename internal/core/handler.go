@@ -35,6 +35,12 @@ func (n *Node) handle(env *wire.Envelope) {
 		})
 	case wire.KindPeerProbeOK:
 		n.deliverProbe(env.ID)
+	case wire.KindDepart:
+		n.handleDepart(env)
+	case wire.KindPeerList:
+		n.handlePeerList(env)
+	case wire.KindPeerListOK:
+		n.deliverPeerList(env)
 	case wire.KindSpan:
 		// A standalone trace-span report from a peer that had no result
 		// envelope to piggyback on; the ID is the traced query's.

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bestpeer/internal/obs"
+	"bestpeer/internal/wire"
+)
+
+// This file implements the node's membership lifecycle beyond join:
+// graceful leave (Depart announcements plus LIGLO deregistration) and
+// crash repair (a failure-detector-driven loop that backfills overlay
+// degree after peers die). Together with SweepPeers they give the
+// overlay the three exits the paper's churn model needs — leave, crash,
+// and detection-plus-repair — without changing the query path at all.
+
+// maxHintStash bounds the replacement-neighbor hints retained from
+// Depart announcements for later repair rounds.
+const maxHintStash = 16
+
+// departedTTL is how long a gracefully-departed address stays refused
+// by the gossip-fed repair paths. It must outlast Depart propagation
+// plus a few repair rounds (neighbors that have not yet processed the
+// departure keep offering the leaver in their peer lists), while
+// staying short enough that an expired entry is harmless — a rejoined
+// member re-enters everyone's candidate pool through its home LIGLO
+// long before gossip would matter.
+const departedTTL = 45 * time.Second
+
+// noteDeparted records a graceful departure so repair gossip refuses
+// the address until departedTTL passes or a trusted path re-adopts it.
+func (n *Node) noteDeparted(addr string) {
+	n.departedMu.Lock()
+	n.departed[addr] = time.Now().Add(departedTTL)
+	n.departedMu.Unlock()
+}
+
+// recentlyDeparted reports whether addr gracefully departed within
+// departedTTL, pruning expired entries as a side effect.
+func (n *Node) recentlyDeparted(addr string) bool {
+	now := time.Now()
+	n.departedMu.Lock()
+	defer n.departedMu.Unlock()
+	exp, ok := n.departed[addr]
+	if ok && now.After(exp) {
+		delete(n.departed, addr)
+		return false
+	}
+	return ok
+}
+
+// Leave performs a graceful departure: every direct peer receives a
+// versioned Depart announcement carrying replacement-neighbor hints (the
+// node's other peers, so receivers can heal the hole without a LIGLO
+// round trip), the peer set is cleared, and the home LIGLO is told to
+// mark this member offline immediately. The node stays alive — it can
+// still serve and issue queries, and Join/Rejoin bring it back — but it
+// stops adopting peers until then. Leave is idempotent; the returned
+// error is the LIGLO deregistration outcome (the overlay-side departure
+// is complete regardless, transport permitting).
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNodeClosed
+	}
+	if n.leaving {
+		n.mu.Unlock()
+		return nil
+	}
+	n.leaving = true
+	id := n.id
+	old := append([]Peer(nil), n.peers...)
+	n.peers = nil
+	n.peerGen++
+	n.mu.Unlock()
+
+	me := n.Addr()
+	for i, p := range old {
+		// Hints are the departing node's other peers — each recipient
+		// gets candidates it can adopt to replace the lost edge.
+		hints := make([]Peer, 0, maxDepartHints)
+		for j := 1; j < len(old) && len(hints) < maxDepartHints; j++ {
+			hints = append(hints, old[(i+j)%len(old)])
+		}
+		n.send(p.Addr, &wire.Envelope{
+			Kind: wire.KindDepart, ID: wire.NewMsgID(), TTL: 1,
+			From: me, To: p.Addr,
+			Body: encodeDepart(&departMsg{Version: departVersion, ID: id, Hints: hints}),
+		})
+		n.m.departsSent.Inc()
+		n.journal.Append(obs.Event{Kind: obs.EvPeerDropped, Peer: p.Addr, Reason: "leave"})
+	}
+
+	reason := "deregistered"
+	var derr error
+	if !id.IsZero() {
+		if derr = n.lgc.Deregister(id); derr != nil {
+			reason = "deregister-failed"
+		}
+	}
+	n.journal.Append(obs.Event{Kind: obs.EvLeft, Count: len(old), Reason: reason})
+	n.log.Info("left bestpeer network", "peers_told", len(old), "liglo", reason)
+	return derr
+}
+
+// Leaving reports whether Leave has run (and no Join/Rejoin since).
+func (n *Node) Leaving() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaving
+}
+
+// handleDepart processes a peer's graceful-leave announcement: the edge
+// drops immediately (no sweep timeout), every per-peer resource —
+// transport send queue, suspect state, learned routing counters, cached
+// answers it served — is released, and the carried replacement hints are
+// adopted or stashed for the repair loop.
+func (n *Node) handleDepart(env *wire.Envelope) {
+	m, err := decodeDepart(env.Body)
+	if err != nil || env.From == "" {
+		return
+	}
+	from := env.From
+	n.m.departsReceived.Inc()
+
+	n.mu.Lock()
+	removed := false
+	keep := n.peers[:0:0]
+	for _, p := range n.peers {
+		if p.Addr == from {
+			removed = true
+			continue
+		}
+		keep = append(keep, p)
+	}
+	if removed {
+		n.peers = keep
+		n.peerGen++
+	}
+	leaving := n.leaving
+	n.mu.Unlock()
+
+	n.journal.Append(obs.Event{Kind: obs.EvDepartReceived, Peer: from, Count: len(m.Hints)})
+	if removed {
+		n.journal.Append(obs.Event{Kind: obs.EvPeerDropped, Peer: from, Reason: "depart"})
+	}
+	n.msgr.Forget(from)
+	n.qr.ForgetNeighbor(from)
+	// The leaver's process may well stay up (it can Rejoin later), so it
+	// keeps answering probes — remember the departure so repair gossip
+	// does not immediately re-adopt the edge we just tore down.
+	n.noteDeparted(from)
+	if leaving {
+		return
+	}
+
+	// Adopt the hints while there is room; stash the rest so a later
+	// repair round can use them without a LIGLO round trip.
+	added := 0
+	var stash []Peer
+	me := n.Addr()
+	for _, h := range m.Hints {
+		if h.Addr == "" || h.Addr == me || h.Addr == from || n.recentlyDeparted(h.Addr) {
+			continue
+		}
+		if n.addPeerReason(h, "depart-hint") {
+			added++
+		} else {
+			stash = append(stash, h)
+		}
+	}
+	if len(stash) > 0 {
+		n.stashHints(stash)
+	}
+	if removed && added == 0 {
+		n.kickRepair("depart")
+	}
+}
+
+// handlePeerList serves this node's direct peers (minus the requester) —
+// the neighbor-of-neighbor candidates a repairing node backfills from.
+func (n *Node) handlePeerList(env *wire.Envelope) {
+	peers := n.Peers()
+	out := peers[:0:0]
+	for _, p := range peers {
+		if p.Addr == env.From {
+			continue
+		}
+		out = append(out, p)
+	}
+	n.send(env.From, &wire.Envelope{
+		Kind: wire.KindPeerListOK, ID: env.ID, TTL: 1,
+		From: n.Addr(), To: env.From,
+		Body: encodePeerListResp(&peerListResp{Peers: out}),
+	})
+}
+
+// deliverPeerList completes an outstanding PeersOfPeer exchange.
+func (n *Node) deliverPeerList(env *wire.Envelope) {
+	v, ok := n.peerLists.Load(env.ID)
+	if !ok {
+		return // late reply for an exchange that timed out
+	}
+	r, err := decodePeerListResp(env.Body)
+	if err != nil {
+		return
+	}
+	select {
+	case v.(chan []Peer) <- r.Peers:
+	default: // duplicate reply; the first one won
+	}
+}
+
+// PeersOfPeer asks a direct peer for its current peer list, synchronously.
+func (n *Node) PeersOfPeer(addr string, timeout time.Duration) ([]Peer, bool) {
+	if timeout <= 0 {
+		timeout = probeTimeout
+	}
+	id := wire.NewMsgID()
+	ch := make(chan []Peer, 1)
+	n.peerLists.Store(id, ch)
+	defer n.peerLists.Delete(id)
+	n.send(addr, &wire.Envelope{
+		Kind: wire.KindPeerList, ID: id, TTL: 1, From: n.Addr(), To: addr,
+	})
+	select {
+	case peers := <-ch:
+		return peers, true
+	case <-time.After(timeout):
+		return nil, false
+	}
+}
+
+// kickRepair wakes the repair loop. Non-blocking: concurrent triggers
+// while a round is pending coalesce into that round.
+func (n *Node) kickRepair(reason string) {
+	select {
+	case n.repairKick <- reason:
+	default:
+	}
+}
+
+// stashHints retains replacement-neighbor hints for later repair rounds,
+// deduplicated and bounded (newest win).
+func (n *Node) stashHints(hs []Peer) {
+	n.hintMu.Lock()
+	defer n.hintMu.Unlock()
+	for _, h := range hs {
+		dup := false
+		for _, e := range n.hintStash {
+			if e.Addr == h.Addr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n.hintStash = append(n.hintStash, h)
+		}
+	}
+	if len(n.hintStash) > maxHintStash {
+		n.hintStash = append([]Peer(nil), n.hintStash[len(n.hintStash)-maxHintStash:]...)
+	}
+}
+
+// popHint takes the oldest stashed hint, if any.
+func (n *Node) popHint() (Peer, bool) {
+	n.hintMu.Lock()
+	defer n.hintMu.Unlock()
+	if len(n.hintStash) == 0 {
+		return Peer{}, false
+	}
+	h := n.hintStash[0]
+	n.hintStash = n.hintStash[1:]
+	return h, true
+}
+
+// StartRepair launches the crash-repair loop: it wakes on failure-
+// detector kicks (transport suspect transitions, sweep drops, departs)
+// and every interval as a safety net, drops suspect peers that fail a
+// probe, and backfills the overlay degree toward MaxPeers — stashed
+// Depart hints first, then neighbor-of-neighbor candidates, then the
+// home LIGLO. Kicked rounds wait a jittered pause first so a correlated
+// failure does not stampede every survivor onto the same candidates at
+// the same instant. The returned stop function terminates the loop and
+// blocks until it has exited.
+func (n *Node) StartRepair(interval, probeTimeout time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	// Deterministic per-node jitter: seeded by the listen address, so
+	// simulations replay identically while distinct nodes still spread.
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(n.Addr())) // fnv.Write never fails
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	go func() {
+		defer close(finished)
+		defer n.containPanic("repair")
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			var reason string
+			select {
+			case <-done:
+				return
+			case reason = <-n.repairKick:
+				jitter := time.Duration(rng.Int63n(int64(interval/10) + 1))
+				t := time.NewTimer(jitter)
+				select {
+				case <-done:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			case <-ticker.C:
+				reason = "periodic"
+			}
+			n.RepairRound(reason, probeTimeout)
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// RepairRound runs one repair round (the loop's body, exported so tests
+// and operators can force one): probe currently-suspect peers and drop
+// the dead, then backfill the degree deficit. It returns how many peers
+// were added.
+func (n *Node) RepairRound(reason string, probeTO time.Duration) int {
+	if n.isClosed() || n.Leaving() {
+		return 0
+	}
+	if probeTO <= 0 {
+		probeTO = probeTimeout
+	}
+
+	// Phase 1: validate suspects. Only peers the transport's failure
+	// detector already distrusts are probed, so a healthy overlay pays
+	// nothing here. Failing (threshold crossed, nothing delivered since)
+	// rather than Suspect (inside the backoff window) — the window can
+	// expire between the failure and this round sampling it, and a dead
+	// peer must not escape detection by out-waiting a 100 ms backoff.
+	n.mu.Lock()
+	peers := append([]Peer(nil), n.peers...)
+	gen := n.peerGen
+	n.mu.Unlock()
+	var suspects []Peer
+	for _, p := range peers {
+		if n.msgr.Failing(p.Addr) {
+			suspects = append(suspects, p)
+		}
+	}
+	dead := make([]bool, len(suspects))
+	if len(suspects) > 0 {
+		var wg sync.WaitGroup
+		for i, p := range suspects {
+			i, p := i, p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer n.containPanic("repair-probe")
+				dead[i] = !n.Probe(p.Addr, probeTO)
+			}()
+		}
+		wg.Wait()
+	}
+	var drops []Peer
+	for i, p := range suspects {
+		if dead[i] {
+			drops = append(drops, p)
+		}
+	}
+	dropped := 0
+	if len(drops) > 0 {
+		n.mu.Lock()
+		if n.peerGen == gen {
+			keep := n.peers[:0:0]
+			for _, p := range n.peers {
+				isDead := false
+				for _, d := range drops {
+					if d.Addr == p.Addr {
+						isDead = true
+						break
+					}
+				}
+				if isDead {
+					dropped++
+					continue
+				}
+				keep = append(keep, p)
+			}
+			n.peers = keep
+			n.peerGen++
+			n.mu.Unlock()
+			for _, p := range drops {
+				n.journal.Append(obs.Event{Kind: obs.EvPeerDropped, Peer: p.Addr, Reason: "suspect"})
+				n.msgr.Forget(p.Addr)
+				n.qr.ForgetNeighbor(p.Addr)
+			}
+		} else {
+			// The set changed under the probes (a reconfiguration, a
+			// concurrent Leave); discard the stale result — the kick that
+			// caused the change schedules its own round.
+			n.mu.Unlock()
+		}
+	}
+
+	// Phase 2: backfill the deficit. Stashed hints and neighbor-of-
+	// neighbor candidates are unverified gossip — under churn they
+	// routinely name dead generations, and adopting them blind lets the
+	// whole fleet trade stale addresses back and forth until every peer
+	// set is garbage. Probe each candidate before adoption, and refuse
+	// recently-departed addresses outright (a leaver's process is often
+	// still alive and probe-positive, so gossip that predates its Depart
+	// would resurrect the edge). Only the home LIGLO (Replenish) is
+	// trusted as-is, since validating members is the registry's job.
+	n.mu.Lock()
+	deficit := n.cfg.MaxPeers - len(n.peers)
+	n.mu.Unlock()
+	started := deficit
+	added := 0
+	for deficit > 0 {
+		h, ok := n.popHint()
+		if !ok {
+			break
+		}
+		if h.Addr == n.Addr() || n.recentlyDeparted(h.Addr) || !n.Probe(h.Addr, probeTO) {
+			continue
+		}
+		if n.addPeerReason(h, "repair") {
+			added++
+			deficit--
+		}
+	}
+	if deficit > 0 {
+		have := make(map[string]bool)
+		for _, p := range n.Peers() {
+			have[p.Addr] = true
+		}
+		for _, p := range n.Peers() {
+			cands, ok := n.PeersOfPeer(p.Addr, probeTO)
+			if !ok {
+				continue
+			}
+			for _, c := range cands {
+				if c.Addr == n.Addr() || have[c.Addr] || n.recentlyDeparted(c.Addr) || !n.Probe(c.Addr, probeTO) {
+					continue
+				}
+				if n.addPeerReason(c, "repair") {
+					have[c.Addr] = true
+					added++
+					deficit--
+				}
+				if deficit <= 0 {
+					break
+				}
+			}
+			if deficit <= 0 {
+				break
+			}
+		}
+	}
+	if deficit > 0 {
+		if a, err := n.Replenish(); err == nil {
+			added += a
+		}
+	}
+
+	n.m.repairRounds.Inc()
+	n.m.repairAdded.Add(uint64(added))
+	if dropped > 0 || started > 0 || added > 0 {
+		n.journal.Append(obs.Event{Kind: obs.EvRepair, Reason: reason, Count: added, K: started})
+	}
+	if added > 0 {
+		n.log.Info("repaired peer set", "trigger", reason, "added", added, "dropped", dropped)
+	}
+	return added
+}

@@ -166,8 +166,13 @@ func (n *Node) SweepPeers(probeTimeout time.Duration) int {
 			for i, p := range peers {
 				if !responsive[i] {
 					n.journal.Append(obs.Event{Kind: obs.EvPeerDropped, Peer: p.Addr, Reason: "unresponsive"})
+					// Release the dead peer's transport queue and learned
+					// routing state, then wake the repair loop to backfill.
+					n.msgr.Forget(p.Addr)
+					n.qr.ForgetNeighbor(p.Addr)
 				}
 			}
+			n.kickRepair("sweep")
 			n.log.Info("dropped unresponsive peers", "count", dropped)
 		} else {
 			n.mu.Unlock()

@@ -106,11 +106,32 @@ type Node struct {
 	peers   []Peer
 	peerGen uint64 // bumped on every peer-set mutation
 	closed  bool
+	leaving bool // set by Leave; suppresses repair and peer adoption
 	admin   *obs.AdminServer
 
-	seen    *dedup
-	queries sync.Map // wire.MsgID -> *queryState
-	probes  sync.Map // wire.MsgID -> chan struct{}
+	seen      *dedup
+	queries   sync.Map // wire.MsgID -> *queryState
+	probes    sync.Map // wire.MsgID -> chan struct{}
+	peerLists sync.Map // wire.MsgID -> chan []Peer (peer-list exchanges)
+
+	// repairKick wakes the repair loop (StartRepair); capacity 1, so
+	// concurrent triggers coalesce into one pending round. hintStash
+	// holds replacement-neighbor hints from Depart announcements that
+	// did not fit the peer set when they arrived; the repair loop
+	// prefers them over a LIGLO round trip.
+	repairKick chan string
+	hintMu     sync.Mutex
+	hintStash  []Peer
+
+	// departed records addresses whose graceful Depart this node
+	// processed recently. A leaver's process often stays alive (it can
+	// Rejoin), so it answers probes — the repair loop must not re-adopt
+	// it from gossip (stashed hints, neighbor-of-neighbor lists) that
+	// predates the departure. Entries expire after departedTTL, and any
+	// successful adoption through an evidence-bearing path (LIGLO
+	// replenish, join, query-driven reconfiguration) clears one early.
+	departedMu sync.Mutex
+	departed   map[string]time.Time
 
 	// pending holds agents waiting for a class transfer, keyed by class;
 	// pendingWants holds peers whose class requests this node could not
@@ -143,6 +164,14 @@ type Stats struct {
 	ClassesShipped    uint64
 	ClassesInstalled  uint64
 	Reconfigs         uint64
+	// DepartsSent counts graceful-leave announcements this node sent;
+	// DepartsReceived counts announcements received from direct peers.
+	DepartsSent     uint64
+	DepartsReceived uint64
+	// RepairRounds counts crash-repair rounds run; RepairAdded counts
+	// peers those rounds backfilled into the direct-peer set.
+	RepairRounds uint64
+	RepairAdded  uint64
 	// ContainedPanics counts node-goroutine panics that were recovered
 	// instead of crashing the process; anything above zero is a bug.
 	ContainedPanics uint64
@@ -164,6 +193,10 @@ type nodeMetrics struct {
 	classesInstalled *obs.Counter
 	reconfigs        *obs.Counter
 	containedPanics  *obs.Counter
+	departsSent      *obs.Counter
+	departsReceived  *obs.Counter
+	repairRounds     *obs.Counter
+	repairAdded      *obs.Counter
 	drops            map[string]*obs.Counter
 	execSeconds      *obs.Histogram
 	answerHops       *obs.Histogram
@@ -189,6 +222,15 @@ func (n *Node) bindMetrics(reg *obs.Registry) {
 		obs.L("strategy", n.strategy.Name()))
 	n.m.containedPanics = reg.Counter("bestpeer_node_contained_panics_total",
 		"Node-goroutine panics recovered instead of crashing the process.")
+	const departHelp = "Graceful-leave (Depart) announcements, by direction."
+	n.m.departsSent = reg.Counter("bestpeer_node_departs_total", departHelp,
+		obs.L("direction", "sent"))
+	n.m.departsReceived = reg.Counter("bestpeer_node_departs_total", departHelp,
+		obs.L("direction", "received"))
+	n.m.repairRounds = reg.Counter("bestpeer_node_repair_rounds_total",
+		"Crash-repair rounds run by the failure-detector loop.")
+	n.m.repairAdded = reg.Counter("bestpeer_node_repair_peers_added_total",
+		"Peers backfilled into the direct-peer set by repair rounds.")
 	n.m.drops = make(map[string]*obs.Counter, len(agentDropReasons))
 	for _, reason := range agentDropReasons {
 		n.m.drops[reason] = reg.Counter("bestpeer_node_agent_drops_total",
@@ -273,7 +315,23 @@ func NewNode(cfg Config) (*Node, error) {
 		metrics:      mreg,
 		tracer:       obs.NewTracer(cfg.TraceCapacity),
 		journal:      journal,
+		repairKick:   make(chan string, 1),
+		departed:     make(map[string]time.Time),
 	}
+	// The transport's failure detector feeds the repair loop: a peer
+	// crossing the consecutive-failure threshold kicks a repair round
+	// instead of waiting for the next sweep to notice. A caller-supplied
+	// callback still runs.
+	userSuspect := cfg.Transport.OnSuspect
+	cfg.Transport.OnSuspect = func(addr string, suspect bool) {
+		if suspect {
+			n.kickRepair("suspect")
+		}
+		if userSuspect != nil {
+			userSuspect(addr, suspect)
+		}
+	}
+	n.cfg.Transport.OnSuspect = cfg.Transport.OnSuspect
 	n.bindMetrics(mreg)
 	cfg.Store.RegisterMetrics(mreg)
 	n.qr = qroute.NewEngine(cfg.QRoute, mreg)
@@ -329,6 +387,10 @@ func (n *Node) Stats() Stats {
 		ClassesShipped:    n.m.classesShipped.Value(),
 		ClassesInstalled:  n.m.classesInstalled.Value(),
 		Reconfigs:         n.m.reconfigs.Value(),
+		DepartsSent:       n.m.departsSent.Value(),
+		DepartsReceived:   n.m.departsReceived.Value(),
+		RepairRounds:      n.m.repairRounds.Value(),
+		RepairAdded:       n.m.repairAdded.Value(),
 		ContainedPanics:   n.m.containedPanics.Value(),
 	}
 }
@@ -453,9 +515,18 @@ func (n *Node) journalPeerDiff(old, cur []Peer, reason string) {
 
 // AddPeer appends a direct peer if there is room and it is not already
 // present. It reports whether the peer was added.
-func (n *Node) AddPeer(p Peer) bool {
+func (n *Node) AddPeer(p Peer) bool { return n.addPeerReason(p, "added") }
+
+// addPeerReason is AddPeer with an explicit journal reason ("added",
+// "depart-hint", "repair"). A node that has left the overlay (Leave)
+// adopts no peers until it joins again, so a straggling Depart hint or
+// repair round cannot resurrect edges on a departed node.
+func (n *Node) addPeerReason(p Peer, reason string) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.leaving {
+		return false
+	}
 	for _, q := range n.peers {
 		if q.Addr == p.Addr {
 			return false
@@ -466,7 +537,13 @@ func (n *Node) AddPeer(p Peer) bool {
 	}
 	n.peers = append(n.peers, p)
 	n.peerGen++
-	n.journal.Append(obs.Event{Kind: obs.EvPeerAdded, Peer: p.Addr, Reason: "added"})
+	n.journal.Append(obs.Event{Kind: obs.EvPeerAdded, Peer: p.Addr, Reason: reason})
+	// Adoption is fresh evidence the address is back in the overlay
+	// (the gossip-fed repair paths check recentlyDeparted before calling
+	// here), so stop refusing it.
+	n.departedMu.Lock()
+	delete(n.departed, p.Addr)
+	n.departedMu.Unlock()
 	return true
 }
 
@@ -488,6 +565,7 @@ func (n *Node) Join(servers []string) error {
 	}
 	n.mu.Lock()
 	n.id = id
+	n.leaving = false // a fresh join re-enters the overlay after a Leave
 	n.peers = n.peers[:0]
 	for _, p := range peers {
 		if len(n.peers) >= n.cfg.MaxPeers {
@@ -537,6 +615,7 @@ func (n *Node) Rejoin() error {
 		fresh = append(fresh, p)
 	}
 	n.mu.Lock()
+	n.leaving = false // rejoining re-enters the overlay after a Leave
 	n.peers = fresh
 	n.peerGen++
 	n.mu.Unlock()

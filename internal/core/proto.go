@@ -34,6 +34,96 @@ type fetchReq struct {
 	AccessLevel int
 }
 
+// departVersion is the Depart payload version this build emits. The
+// payload leads with the version so it can grow fields without a new
+// message kind: decoders accept any version, tolerating trailing bytes
+// from newer senders and taking just the fields they understand.
+const departVersion = 1
+
+// maxDepartHints caps how many replacement-neighbor hints a Depart
+// carries — the departing node's other direct peers, offered so the
+// receiver can backfill the lost edge without a LIGLO round trip.
+const maxDepartHints = 4
+
+// departMsg is a graceful-leave announcement to a direct peer.
+type departMsg struct {
+	Version uint64
+	// ID is the departing node's identity (zero when it never joined).
+	ID wire.BPID
+	// Hints are replacement-neighbor candidates: the departing node's
+	// other direct peers, excluding the recipient.
+	Hints []Peer
+}
+
+func encodeDepart(m *departMsg) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	e.BPID(m.ID)
+	e.Uvarint(uint64(len(m.Hints)))
+	for _, p := range m.Hints {
+		e.BPID(p.ID)
+		e.String(p.Addr)
+	}
+	return e.Bytes()
+}
+
+func decodeDepart(b []byte) (*departMsg, error) {
+	d := wire.NewDecoder(b)
+	m := &departMsg{Version: d.Uvarint()}
+	m.ID = d.BPID()
+	n := d.Uvarint()
+	if n > uint64(wire.MaxFrameSize) {
+		return nil, fmt.Errorf("%w: depart", ErrBadMessage)
+	}
+	for i := uint64(0); i < n; i++ {
+		m.Hints = append(m.Hints, Peer{ID: d.BPID(), Addr: d.String()})
+	}
+	if m.Version > departVersion {
+		// Newer sender: unknown fields may trail the ones we understand.
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: depart: %v", ErrBadMessage, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: depart: %v", ErrBadMessage, err)
+	}
+	return m, nil
+}
+
+// peerListResp carries a node's current direct peers — the
+// neighbor-of-neighbor candidates the repair loop backfills from before
+// falling back to LIGLO. The request (KindPeerList) has an empty body.
+type peerListResp struct {
+	Peers []Peer
+}
+
+func encodePeerListResp(r *peerListResp) []byte {
+	var e wire.Encoder
+	e.Uvarint(uint64(len(r.Peers)))
+	for _, p := range r.Peers {
+		e.BPID(p.ID)
+		e.String(p.Addr)
+	}
+	return e.Bytes()
+}
+
+func decodePeerListResp(b []byte) (*peerListResp, error) {
+	d := wire.NewDecoder(b)
+	r := &peerListResp{}
+	n := d.Uvarint()
+	if n > uint64(wire.MaxFrameSize) {
+		return nil, fmt.Errorf("%w: peer-list", ErrBadMessage)
+	}
+	for i := uint64(0); i < n; i++ {
+		r.Peers = append(r.Peers, Peer{ID: d.BPID(), Addr: d.String()})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: peer-list: %v", ErrBadMessage, err)
+	}
+	return r, nil
+}
+
 func encodeClassWant(w *classWant) []byte {
 	var e wire.Encoder
 	e.String(w.Class)

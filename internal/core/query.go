@@ -304,11 +304,14 @@ func (n *Node) Query(ag agent.Agent, opts QueryOptions) (*QueryResult, error) {
 	if cacheable {
 		// The stored copies are private to the cache so a caller mutating
 		// the returned slices cannot corrupt later hits. An empty round
-		// becomes a short-lived negative entry.
-		n.qr.PutBase(qKey, &cachedAnswers{
+		// becomes a short-lived negative entry. The entry carries the
+		// answering peers as provenance so a peer's departure evicts the
+		// answers it served.
+		n.qr.PutBaseFrom(qKey, &cachedAnswers{
 			answers: append([]Answer(nil), answers...),
 			hints:   append([]Answer(nil), hints...),
-		}, answersSize(answers, hints), len(answers)+len(hints) == 0, qEpoch, time.Now())
+		}, answersSize(answers, hints), len(answers)+len(hints) == 0, qEpoch, time.Now(),
+			answerSites(n.Addr(), answers, hints))
 	}
 	if !opts.NoReconfigure {
 		res.Reconfigured = n.reconfigure(qid, answers, hints)
@@ -363,6 +366,23 @@ func flagCached(in []Answer) []Answer {
 // answerOverhead approximates one Answer's fixed footprint for cache
 // byte accounting.
 const answerOverhead = 64
+
+// answerSites collects the distinct remote peers an answer set came
+// from — the cache-entry provenance ForgetNeighbor evicts by.
+func answerSites(me string, lists ...[]Answer) []string {
+	var sites []string
+	seen := make(map[string]bool)
+	for _, l := range lists {
+		for _, a := range l {
+			if a.PeerAddr == "" || a.PeerAddr == me || seen[a.PeerAddr] {
+				continue
+			}
+			seen[a.PeerAddr] = true
+			sites = append(sites, a.PeerAddr)
+		}
+	}
+	return sites
+}
 
 // answersSize estimates an answer set's cache footprint.
 func answersSize(lists ...[]Answer) int {

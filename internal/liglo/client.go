@@ -102,7 +102,7 @@ func NewClientOpts(network transport.Network, opts ClientOptions) *Client {
 		fails:   make(map[string]*obs.Counter),
 	}
 	reg := c.opts.Metrics
-	for _, op := range []string{"register", "rejoin", "lookup", "peers"} {
+	for _, op := range []string{"register", "rejoin", "lookup", "peers", "deregister"} {
 		c.calls[op] = reg.Counter("bestpeer_liglo_client_calls_total",
 			"LIGLO request/response exchanges attempted, by operation.", obs.L("op", op))
 		c.fails[op] = reg.Counter("bestpeer_liglo_client_call_failures_total",
@@ -254,6 +254,55 @@ func (c *Client) rejoinOnce(id wire.BPID, myAddr string) error {
 		return err
 	}
 	r, err := decodeRejoinResp(resp.Body)
+	if err != nil {
+		return err
+	}
+	if r.Err != "" {
+		switch r.Err {
+		case ErrUnknown.Error():
+			return ErrUnknown
+		case ErrWrongHome.Error():
+			return ErrWrongHome
+		}
+		return errors.New(r.Err)
+	}
+	return nil
+}
+
+// Deregister announces a graceful leave to the node's home server so the
+// member is marked offline immediately, without waiting for a probe sweep
+// to time out. Transport failures retry with exponential backoff; protocol
+// rejections (ErrUnknown, ErrWrongHome) are terminal. The BPID stays
+// valid — Rejoin brings the member back under the same identity.
+func (c *Client) Deregister(id wire.BPID) error {
+	var lastErr error
+	for round := 0; ; round++ {
+		err := c.deregisterOnce(id)
+		if err == nil || errors.Is(err, ErrUnknown) || errors.Is(err, ErrWrongHome) {
+			return err
+		}
+		lastErr = err
+		if round >= c.opts.Retries {
+			return lastErr
+		}
+		if !c.sleep(c.opts.backoff(round)) {
+			return errors.Join(ErrClientClosed, lastErr)
+		}
+	}
+}
+
+func (c *Client) deregisterOnce(id wire.BPID) error {
+	req := &wire.Envelope{
+		Kind: wire.KindLigloDeregister,
+		ID:   wire.NewMsgID(),
+		TTL:  1,
+		Body: encodeDeregisterReq(&deregisterReq{ID: id}),
+	}
+	resp, err := c.call("deregister", id.LIGLO, req)
+	if err != nil {
+		return err
+	}
+	r, err := decodeDeregisterResp(resp.Body)
 	if err != nil {
 		return err
 	}

@@ -176,6 +176,48 @@ func decodeLookupResp(b []byte) (*lookupResp, error) {
 	return r, nil
 }
 
+// deregisterReq announces a member's graceful leave: mark it offline
+// immediately instead of waiting for the next probe sweep to notice. The
+// BPID stays valid — a deregistered member can Rejoin later.
+type deregisterReq struct {
+	ID wire.BPID
+}
+
+// deregisterResp acknowledges a deregistration.
+type deregisterResp struct {
+	Err string
+}
+
+func encodeDeregisterReq(r *deregisterReq) []byte {
+	var e wire.Encoder
+	e.BPID(r.ID)
+	return e.Bytes()
+}
+
+func decodeDeregisterReq(b []byte) (*deregisterReq, error) {
+	d := wire.NewDecoder(b)
+	r := &deregisterReq{ID: d.BPID()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
+func encodeDeregisterResp(r *deregisterResp) []byte {
+	var e wire.Encoder
+	e.String(r.Err)
+	return e.Bytes()
+}
+
+func decodeDeregisterResp(b []byte) (*deregisterResp, error) {
+	d := wire.NewDecoder(b)
+	r := &deregisterResp{Err: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r, nil
+}
+
 // peersReq asks the server for a fresh list of online members, excluding
 // the requester — how a node replenishes its peer set after drops.
 type peersReq struct {

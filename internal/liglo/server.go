@@ -42,6 +42,11 @@ type member struct {
 	addr     string
 	online   bool
 	lastSeen time.Time
+	// departed marks an explicit graceful leave (Deregister). The
+	// member's process often stays alive so it can Rejoin later — the
+	// liveness sweep must not take a successful dial as evidence the
+	// member is back. Only Rejoin clears the flag.
+	departed bool
 }
 
 // Server is one LIGLO server: it issues BPIDs, records member addresses
@@ -60,11 +65,12 @@ type Server struct {
 	stopProbe chan struct{}
 
 	// Metric handles, registered on cfg.Metrics at construction.
-	registers *obs.Counter
-	rejoins   *obs.Counter
-	lookups   *obs.Counter
-	rejected  *obs.Counter
-	expired   *obs.Counter
+	registers   *obs.Counter
+	rejoins     *obs.Counter
+	lookups     *obs.Counter
+	rejected    *obs.Counter
+	expired     *obs.Counter
+	deregisters *obs.Counter
 	// panics counts goroutine panics contained by the server; anything
 	// above zero is a bug worth a look, but it never kills the process.
 	panics *obs.Counter
@@ -82,6 +88,7 @@ type ServerStats struct {
 	Lookups      uint64
 	Rejected     uint64
 	Expired      uint64
+	Deregisters  uint64
 	Panics       uint64
 	Sweeps       uint64
 	SweepOnline  uint64
@@ -96,6 +103,7 @@ func (s *Server) Stats() ServerStats {
 		Lookups:      s.lookups.Value(),
 		Rejected:     s.rejected.Value(),
 		Expired:      s.expired.Value(),
+		Deregisters:  s.deregisters.Value(),
 		Panics:       s.panics.Value(),
 		Sweeps:       s.sweeps.Value(),
 		SweepOnline:  s.sweepOnline.Value(),
@@ -142,6 +150,8 @@ func NewServer(network transport.Network, addr string, cfg ServerConfig) (*Serve
 			"Registrations refused because the server was at capacity."),
 		expired: reg.Counter("bestpeer_liglo_expired_total",
 			"Members dropped after exceeding the offline expiry."),
+		deregisters: reg.Counter("bestpeer_liglo_deregisters_total",
+			"Members that announced a graceful leave and were marked offline."),
 		panics: reg.Counter("bestpeer_liglo_panics_total",
 			"Server goroutine panics contained."),
 		sweeps: reg.Counter("bestpeer_liglo_sweeps_total",
@@ -232,6 +242,12 @@ func (s *Server) dispatch(req *wire.Envelope) *wire.Envelope {
 			return nil
 		}
 		return s.handlePeers(r)
+	case wire.KindLigloDeregister:
+		r, err := decodeDeregisterReq(req.Body)
+		if err != nil {
+			return nil
+		}
+		return s.handleDeregister(r)
 	default:
 		return nil
 	}
@@ -304,12 +320,44 @@ func (s *Server) handleRejoin(r *rejoinReq) *wire.Envelope {
 	cameBack := !m.online
 	m.addr = r.Addr
 	m.online = true
+	m.departed = false // an explicit rejoin ends a graceful departure
 	m.lastSeen = time.Now()
 	s.rejoins.Inc()
 	if cameBack {
 		s.cfg.Journal.Append(obs.Event{Kind: obs.EvMemberOnline, Peer: r.Addr, Reason: "rejoin"})
 	}
 	return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{}))
+}
+
+// handleDeregister marks a member offline immediately on its own say-so —
+// a graceful leave does not have to wait for a probe sweep to time out.
+// The membership record and BPID survive: the member can Rejoin later
+// under the same identity. Unlike a member a sweep found offline, a
+// deregistered member is pinned there — its process may stay up awaiting
+// a Rejoin, and a dialable address is not consent to rejoin the overlay.
+func (s *Server) handleDeregister(r *deregisterReq) *wire.Envelope {
+	s.mu.Lock()
+	if r.ID.LIGLO != s.Addr() {
+		s.mu.Unlock()
+		return reply(wire.KindLigloStatus, encodeDeregisterResp(&deregisterResp{Err: ErrWrongHome.Error()}))
+	}
+	m, ok := s.members[r.ID.Node]
+	if !ok {
+		s.mu.Unlock()
+		return reply(wire.KindLigloStatus, encodeDeregisterResp(&deregisterResp{Err: ErrUnknown.Error()}))
+	}
+	wasOnline := m.online
+	m.online = false
+	m.departed = true
+	m.lastSeen = time.Now()
+	addr := m.addr
+	s.mu.Unlock()
+	s.deregisters.Inc()
+	s.cfg.Journal.Append(obs.Event{Kind: obs.EvMemberDeregistered, Peer: addr})
+	if wasOnline {
+		s.cfg.Journal.Append(obs.Event{Kind: obs.EvMemberOffline, Peer: addr, Reason: "deregister"})
+	}
+	return reply(wire.KindLigloStatus, encodeDeregisterResp(&deregisterResp{}))
 }
 
 func (s *Server) handleLookup(r *lookupReq) *wire.Envelope {
@@ -367,7 +415,9 @@ func (s *Server) probeLoop() {
 }
 
 // CheckNow probes every member's address once and updates its online
-// status. Returns how many members are online after the sweep.
+// status. Gracefully-departed members are not probed — their process
+// answering the door is not a rejoin — but they still age toward
+// expiry. Returns how many members are online after the sweep.
 func (s *Server) CheckNow() int {
 	s.mu.Lock()
 	type target struct {
@@ -376,6 +426,9 @@ func (s *Server) CheckNow() int {
 	}
 	targets := make([]target, 0, len(s.members))
 	for _, m := range s.members {
+		if m.departed {
+			continue
+		}
 		targets = append(targets, target{m.node, m.addr})
 	}
 	s.mu.Unlock()
@@ -395,6 +448,14 @@ func (s *Server) CheckNow() int {
 	now := time.Now()
 	var transitions []obs.Event
 	for node, m := range s.members {
+		if m.departed {
+			if s.cfg.ExpireAfter > 0 && now.Sub(m.lastSeen) > s.cfg.ExpireAfter {
+				delete(s.members, node)
+				s.expired.Inc()
+				transitions = append(transitions, obs.Event{Kind: obs.EvMemberExpired, Peer: m.addr})
+			}
+			continue
+		}
 		was := m.online
 		if alive[node] {
 			m.online = true

@@ -80,6 +80,22 @@ const (
 	// Count is the targets chosen, K the candidate neighbors, Hops the
 	// scoped TTL sent with the clones.
 	EvSelectiveRoute EventKind = "selective-route"
+	// EvLeft: this node executed a graceful leave — Depart sent to every
+	// direct peer and the home LIGLO notified; Count is how many peers
+	// were told, Reason "deregistered" when the LIGLO accepted the
+	// deregister and "deregister-failed" when it could not be reached.
+	EvLeft EventKind = "left"
+	// EvDepartReceived: a direct peer announced its departure; Count is
+	// how many replacement-neighbor hints the announcement carried. The
+	// edge drop itself is journalled as EvPeerDropped reason "depart".
+	EvDepartReceived EventKind = "depart-received"
+	// EvRepair: one crash-repair round ran. Reason is the trigger
+	// ("suspect", "sweep", "depart", "periodic"), Count the peers added,
+	// K the degree deficit the round started with.
+	EvRepair EventKind = "repair"
+	// EvMemberDeregistered: a LIGLO member announced a graceful leave and
+	// was marked offline immediately, without waiting for a probe sweep.
+	EvMemberDeregistered EventKind = "member-deregistered"
 )
 
 // Kinds is the complete event-kind registry; the eventdrift analyzer
@@ -105,6 +121,10 @@ var Kinds = []EventKind{
 	EvCacheMiss,
 	EvCacheInvalidated,
 	EvSelectiveRoute,
+	EvLeft,
+	EvDepartReceived,
+	EvRepair,
+	EvMemberDeregistered,
 }
 
 // PeerScore is one candidate's line in a reconfiguration decision: the

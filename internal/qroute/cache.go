@@ -62,7 +62,7 @@ type Cache struct {
 	// Counters, guarded by mu; surfaced by Stats.
 	hits, negHits, misses          uint64
 	insertions, evictions, expired uint64
-	invalidated                    uint64
+	invalidated, forgotten         uint64
 }
 
 type entry struct {
@@ -72,6 +72,10 @@ type entry struct {
 	negative bool
 	epoch    uint64
 	at       time.Time
+	// sites are the addresses the cached value's answers came from
+	// (serve sites / first-hop neighbors). DropSite evicts by them when
+	// a peer departs, so cached answers never outlive their provenance.
+	sites []string
 }
 
 // NewCache returns an empty cache.
@@ -150,6 +154,13 @@ func (c *Cache) Get(key string, now time.Time) (val any, negative, ok bool) {
 // payload size in bytes. Values larger than the byte budget are not
 // cached. It returns how many entries were evicted to make room.
 func (c *Cache) Put(key string, val any, size int, negative bool, epoch uint64, now time.Time) int {
+	return c.PutFrom(key, val, size, negative, epoch, now, nil)
+}
+
+// PutFrom is Put with answer provenance: sites lists the peer addresses
+// the cached value's answers came from, so DropSite can evict entries
+// whose provenance departs the overlay.
+func (c *Cache) PutFrom(key string, val any, size int, negative bool, epoch uint64, now time.Time, sites []string) int {
 	if size > c.opt.MaxBytes {
 		return 0
 	}
@@ -159,10 +170,11 @@ func (c *Cache) Put(key string, val any, size int, negative bool, epoch uint64, 
 		e := el.Value.(*entry)
 		c.bytes += size - e.size
 		e.val, e.size, e.negative, e.epoch, e.at = val, size, negative, epoch, now
+		e.sites = sites
 		c.lru.MoveToFront(el)
 	} else {
 		el := c.lru.PushFront(&entry{key: key, val: val, size: size,
-			negative: negative, epoch: epoch, at: now})
+			negative: negative, epoch: epoch, at: now, sites: sites})
 		c.entries[key] = el
 		c.bytes += size
 		c.insertions++
@@ -178,6 +190,32 @@ func (c *Cache) Put(key string, val any, size int, negative bool, epoch uint64, 
 		evicted++
 	}
 	return evicted
+}
+
+// DropSite evicts every entry whose provenance includes addr — the
+// cache-affinity half of forgetting a departed neighbor. It returns how
+// many entries were dropped.
+func (c *Cache) DropSite(addr string) int {
+	if addr == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.lru.Back(); el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		for _, s := range e.sites {
+			if s == addr {
+				c.removeLocked(el)
+				c.forgotten++
+				dropped++
+				break
+			}
+		}
+		el = prev
+	}
+	return dropped
 }
 
 // removeLocked unlinks el; callers hold c.mu.
@@ -200,6 +238,9 @@ type CacheStats struct {
 	Evictions    uint64 `json:"evictions"`
 	Expired      uint64 `json:"expired"`
 	Invalidated  uint64 `json:"invalidated"`
+	// Forgotten counts entries evicted because a provenance site
+	// departed (DropSite).
+	Forgotten uint64 `json:"forgotten"`
 }
 
 // Stats snapshots the cache.
@@ -217,5 +258,6 @@ func (c *Cache) Stats() CacheStats {
 		Evictions:    c.evictions,
 		Expired:      c.expired,
 		Invalidated:  c.invalidated,
+		Forgotten:    c.forgotten,
 	}
 }

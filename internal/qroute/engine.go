@@ -33,6 +33,7 @@ type Engine struct {
 	routeSelective            *obs.Counter
 	routeFlood                *obs.Counter
 	routeExplore              *obs.Counter
+	neighborsForgotten        *obs.Counter
 }
 
 // NewEngine builds an engine and registers its metrics. A nil registry
@@ -68,6 +69,8 @@ func NewEngine(opt Options, reg *obs.Registry) *Engine {
 	e.routeSelective = reg.Counter(routes, routeD, obs.L("mode", "selective"))
 	e.routeFlood = reg.Counter(routes, routeD, obs.L("mode", "flood"))
 	e.routeExplore = reg.Counter(routes, routeD, obs.L("mode", "explore"))
+	e.neighborsForgotten = reg.Counter("bestpeer_qroute_neighbors_forgotten_total",
+		"Departed neighbors evicted from the routing index and answer cache.")
 	reg.GaugeFunc("bestpeer_qroute_cache_entries",
 		"Answer-cache entries currently held.",
 		func() float64 { return float64(e.cache.Stats().Entries) })
@@ -135,10 +138,38 @@ func (e *Engine) GetBase(key string, now time.Time) (val any, negative, ok bool)
 // PutBase caches a whole-query answer set at the base node. epoch must
 // have been read before the query ran (see Cache.Put).
 func (e *Engine) PutBase(key string, val any, size int, negative bool, epoch uint64, now time.Time) {
+	e.PutBaseFrom(key, val, size, negative, epoch, now, nil)
+}
+
+// PutBaseFrom is PutBase with answer provenance: sites lists the peer
+// addresses the answers came from, so ForgetNeighbor can evict entries
+// served by a peer that later departs.
+func (e *Engine) PutBaseFrom(key string, val any, size int, negative bool, epoch uint64, now time.Time, sites []string) {
 	if e == nil {
 		return
 	}
-	e.put(siteBase+key, val, size, negative, epoch, now)
+	if n := e.cache.PutFrom(siteBase+key, val, size, negative, epoch, now, sites); n > 0 {
+		e.evictions.Add(uint64(n))
+	}
+}
+
+// ForgetNeighbor evicts everything learned about or through a departed
+// neighbor: its per-term routing counters and every cached answer set
+// whose provenance includes it. Call it when a direct peer leaves or is
+// dropped as dead, so long-lived nodes under churn do not hold unbounded
+// dead-neighbor state. It returns how many index counters plus cache
+// entries were evicted.
+func (e *Engine) ForgetNeighbor(addr string) int {
+	if e == nil || addr == "" {
+		return 0
+	}
+	n := e.index.Forget(addr)
+	dropped := e.cache.DropSite(addr)
+	if dropped > 0 {
+		e.evictions.Add(uint64(dropped))
+	}
+	e.neighborsForgotten.Inc()
+	return n + dropped
 }
 
 // GetServe looks up a peer-local result set cached at a serving node.

@@ -1,0 +1,61 @@
+package qroute
+
+import (
+	"testing"
+	"time"
+)
+
+// TestForgetNeighborEvictsRoutesAndProvenance exercises the churn
+// eviction path: when a direct peer departs, everything learned about it
+// (per-term routing counters) or through it (cached answers whose
+// provenance names it) must go, while state tied to surviving neighbors
+// stays.
+func TestForgetNeighborEvictsRoutesAndProvenance(t *testing.T) {
+	e := NewEngine(Options{Enable: true}, nil)
+	now := time.Unix(0, 0).UTC()
+	e.Observe([]string{"alpha"}, "n1", 5, 2, now)
+	e.Observe([]string{"alpha"}, "n2", 1, 3, now)
+	e.PutBaseFrom("k1", "v1", 8, false, 0, now, []string{"n1"})
+	e.PutBaseFrom("k2", "v2", 8, false, 0, now, []string{"n2"})
+
+	evicted := e.ForgetNeighbor("n1")
+	if evicted != 2 {
+		t.Fatalf("ForgetNeighbor evicted %d, want 2 (one route counter + one cache entry)", evicted)
+	}
+	if _, _, ok := e.GetBase("k1", now); ok {
+		t.Fatal("cache entry served by the departed neighbor survived")
+	}
+	if v, _, ok := e.GetBase("k2", now); !ok || v != "v2" {
+		t.Fatalf("unrelated cache entry lost: %v %v", v, ok)
+	}
+	st := e.Stats()
+	if st.Cache.Forgotten != 1 {
+		t.Fatalf("Forgotten stat = %d, want 1", st.Cache.Forgotten)
+	}
+
+	// The departed neighbor's state is gone for good, but nothing stops
+	// the same address from being learned afresh after a rejoin.
+	e.PutBaseFrom("k1", "v1b", 8, false, 0, now, []string{"n1"})
+	if v, _, ok := e.GetBase("k1", now); !ok || v != "v1b" {
+		t.Fatalf("re-learned entry after forget: %v %v", v, ok)
+	}
+}
+
+// TestForgetNeighborNilAndEmpty pins the disabled-engine and empty-addr
+// contracts the core node relies on (it calls ForgetNeighbor
+// unconditionally on every drop, engine or not).
+func TestForgetNeighborNilAndEmpty(t *testing.T) {
+	var nilEng *Engine
+	if n := nilEng.ForgetNeighbor("n1"); n != 0 {
+		t.Fatalf("nil engine evicted %d", n)
+	}
+	e := NewEngine(Options{Enable: true}, nil)
+	if n := e.ForgetNeighbor(""); n != 0 {
+		t.Fatalf("empty addr evicted %d", n)
+	}
+	// Forgetting an address never seen is a no-op that still counts the
+	// call (the metric tracks drops requested, not state found).
+	if n := e.ForgetNeighbor("never-seen"); n != 0 {
+		t.Fatalf("unknown addr evicted %d", n)
+	}
+}

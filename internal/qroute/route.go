@@ -237,3 +237,28 @@ func (x *RoutingIndex) Terms() int {
 	defer x.mu.Unlock()
 	return len(x.terms)
 }
+
+// Forget removes every learned counter attributed to neighbor across all
+// terms — called when the neighbor departs or is dropped as dead, so a
+// long-lived node under churn does not accumulate unbounded dead-neighbor
+// state. Terms left with no scored neighbor are dropped entirely. It
+// returns how many per-term counters were evicted.
+func (x *RoutingIndex) Forget(neighbor string) int {
+	if neighbor == "" {
+		return 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	dropped := 0
+	for t, ts := range x.terms {
+		if _, ok := ts.vias[neighbor]; !ok {
+			continue
+		}
+		delete(ts.vias, neighbor)
+		dropped++
+		if len(ts.vias) == 0 {
+			delete(x.terms, t)
+		}
+	}
+	return dropped
+}

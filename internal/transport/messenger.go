@@ -52,6 +52,13 @@ type Options struct {
 	// reason and per-peer suspect/recovered liveness transitions. Nil
 	// disables journalling (obs.Journal methods are nil-safe).
 	Journal *obs.Journal
+	// OnSuspect, when non-nil, is invoked on suspect-state transitions:
+	// once when a destination crosses the consecutive-failure threshold
+	// (suspect=true) and once when a delivery to it succeeds again
+	// (suspect=false). It runs on the send worker outside messenger
+	// locks; implementations must not block. The failure detector in
+	// internal/core uses it to kick repair without polling.
+	OnSuspect func(addr string, suspect bool)
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +118,7 @@ type Messenger struct {
 	droppedSuspect  *obs.Counter // reason="suspect"
 	droppedEncode   *obs.Counter // reason="encode"
 	droppedDeliver  *obs.Counter // reason="deliver"
+	droppedForget   *obs.Counter // reason="forget"
 	redialsMetric   *obs.Counter
 	handlerPanicsMx *obs.Counter
 	loopPanicsMx    *obs.Counter
@@ -134,7 +142,8 @@ func (m *Messenger) Stats() MessengerStats {
 		Sent:     m.sent.Value(),
 		Received: m.received.Value(),
 		Dropped: m.droppedQueue.Value() + m.droppedSuspect.Value() +
-			m.droppedEncode.Value() + m.droppedDeliver.Value(),
+			m.droppedEncode.Value() + m.droppedDeliver.Value() +
+			m.droppedForget.Value(),
 		Redials:       m.redialsMetric.Value(),
 		HandlerPanics: m.handlerPanicsMx.Value(),
 		LoopPanics:    m.loopPanicsMx.Value(),
@@ -157,6 +166,8 @@ func (m *Messenger) bindMetrics(reg *obs.Registry) {
 		obs.L("reason", "encode"))
 	m.droppedDeliver = reg.Counter("bestpeer_transport_messages_dropped_total", dropHelp,
 		obs.L("reason", "deliver"))
+	m.droppedForget = reg.Counter("bestpeer_transport_messages_dropped_total", dropHelp,
+		obs.L("reason", "forget"))
 	m.redialsMetric = reg.Counter("bestpeer_transport_redials_total",
 		"Stale cached connections re-dialed.")
 	m.handlerPanicsMx = reg.Counter("bestpeer_transport_handler_panics_total",
@@ -241,6 +252,27 @@ func (m *Messenger) HandlerPanics() uint64 { return m.Stats().HandlerPanics }
 // contained. Anything above zero is a transport bug.
 func (m *Messenger) LoopPanics() uint64 { return m.Stats().LoopPanics }
 
+// Forget releases every resource held for the destination: its send
+// queue, worker goroutine, cached connection and suspect/backoff state.
+// Queued envelopes are dropped (reason "forget") — the peer has departed,
+// so delivering them would only burn dial timeouts. Call it when a peer
+// leaves the overlay, so a long-lived node under churn does not
+// accumulate one worker per peer it ever spoke to. A later Send to the
+// same address starts fresh. It reports whether state existed to release.
+func (m *Messenger) Forget(to string) bool {
+	m.mu.Lock()
+	q, ok := m.outs[to]
+	if ok {
+		delete(m.outs, to)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	q.stop()
+	return true
+}
+
 // Suspect reports whether the destination is currently in backoff.
 func (m *Messenger) Suspect(to string) bool {
 	m.mu.Lock()
@@ -251,6 +283,23 @@ func (m *Messenger) Suspect(to string) bool {
 	}
 	_, suspect := q.suspended()
 	return suspect
+}
+
+// Failing reports whether the destination has crossed the consecutive-
+// failure threshold and has not delivered anything since. Unlike
+// Suspect, this does not reset when the backoff window expires — only a
+// successful delivery clears it — so slow-cadence health checks (the
+// repair loop) cannot race a short backoff and miss a dead peer.
+func (m *Messenger) Failing(to string) bool {
+	m.mu.Lock()
+	q, ok := m.outs[to]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	q.qmu.Lock()
+	defer q.qmu.Unlock()
+	return q.failures >= m.opts.FailThreshold
 }
 
 func (m *Messenger) acceptLoop() {
@@ -383,6 +432,9 @@ type sendQueue struct {
 	addr string
 	ch   chan *wire.Envelope
 
+	stopped  chan struct{} // closed by Forget; ends the worker early
+	stopOnce sync.Once
+
 	qmu          sync.Mutex
 	failures     int
 	suspectUntil time.Time
@@ -391,7 +443,17 @@ type sendQueue struct {
 }
 
 func newSendQueue(m *Messenger, addr string) *sendQueue {
-	return &sendQueue{m: m, addr: addr, ch: make(chan *wire.Envelope, m.opts.QueueSize)}
+	return &sendQueue{
+		m:       m,
+		addr:    addr,
+		ch:      make(chan *wire.Envelope, m.opts.QueueSize),
+		stopped: make(chan struct{}),
+	}
+}
+
+// stop ends the worker; idempotent so Forget racing Close is safe.
+func (q *sendQueue) stop() {
+	q.stopOnce.Do(func() { close(q.stopped) })
 }
 
 // suspended reports whether the destination is inside its backoff window.
@@ -427,6 +489,9 @@ func (q *sendQueue) fail() {
 	q.qmu.Unlock()
 	if over == 0 {
 		q.m.opts.Journal.Append(obs.Event{Kind: obs.EvPeerSuspect, Peer: q.addr, Count: failures})
+		if cb := q.m.opts.OnSuspect; cb != nil {
+			cb(q.addr, true)
+		}
 	}
 }
 
@@ -440,6 +505,9 @@ func (q *sendQueue) succeed() {
 	q.qmu.Unlock()
 	if wasSuspect {
 		q.m.opts.Journal.Append(obs.Event{Kind: obs.EvPeerRecovered, Peer: q.addr})
+		if cb := q.m.opts.OnSuspect; cb != nil {
+			cb(q.addr, false)
+		}
 	}
 }
 
@@ -456,6 +524,20 @@ func (q *sendQueue) run() {
 		select {
 		case <-q.m.done:
 			return
+		case <-q.stopped:
+			// Forgotten: account queued envelopes as dropped, then
+			// release everything. A Send racing Forget on the stale
+			// queue pointer at worst loses its envelope — transport is
+			// best-effort and the peer is gone anyway.
+			for {
+				select {
+				case <-q.ch:
+					q.m.droppedForget.Inc()
+					q.m.opts.Journal.Append(obs.Event{Kind: obs.EvMessageDropped, Peer: q.addr, Reason: "forget"})
+				default:
+					return
+				}
+			}
 		case env := <-q.ch:
 			q.deliver(env)
 		}

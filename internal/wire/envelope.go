@@ -44,34 +44,46 @@ const (
 	// Observability protocol.
 	KindSpan // standalone trace span report sent to the trace base
 
+	// Membership lifecycle (appended after the original vocabulary; the
+	// Depart body carries its own version field so the payload can grow
+	// without a new kind).
+	KindDepart          // graceful leave announcement to direct peers
+	KindPeerList        // request a peer's current direct-peer list
+	KindPeerListOK      // peer list reply (neighbor-of-neighbor candidates)
+	KindLigloDeregister // graceful-leave announcement to the home LIGLO
+
 	kindSentinel // keep last
 )
 
 var kindNames = [...]string{
-	KindInvalid:        "invalid",
-	KindAgent:          "agent",
-	KindResult:         "result",
-	KindHint:           "hint",
-	KindFetch:          "fetch",
-	KindClassWant:      "class-want",
-	KindClassShip:      "class-ship",
-	KindPeerProbe:      "peer-probe",
-	KindPeerProbeOK:    "peer-probe-ok",
-	KindCSQuery:        "cs-query",
-	KindCSAnswer:       "cs-answer",
-	KindGnuPing:        "gnu-ping",
-	KindGnuPong:        "gnu-pong",
-	KindGnuQuery:       "gnu-query",
-	KindGnuQueryHit:    "gnu-query-hit",
-	KindLigloRegister:  "liglo-register",
-	KindLigloRegisterd: "liglo-registered",
-	KindLigloRejoin:    "liglo-rejoin",
-	KindLigloLookup:    "liglo-lookup",
-	KindLigloStatus:    "liglo-status",
-	KindLigloProbe:     "liglo-probe",
-	KindLigloPeers:     "liglo-peers",
-	KindLigloPeersList: "liglo-peers-list",
-	KindSpan:           "span",
+	KindInvalid:         "invalid",
+	KindAgent:           "agent",
+	KindResult:          "result",
+	KindHint:            "hint",
+	KindFetch:           "fetch",
+	KindClassWant:       "class-want",
+	KindClassShip:       "class-ship",
+	KindPeerProbe:       "peer-probe",
+	KindPeerProbeOK:     "peer-probe-ok",
+	KindCSQuery:         "cs-query",
+	KindCSAnswer:        "cs-answer",
+	KindGnuPing:         "gnu-ping",
+	KindGnuPong:         "gnu-pong",
+	KindGnuQuery:        "gnu-query",
+	KindGnuQueryHit:     "gnu-query-hit",
+	KindLigloRegister:   "liglo-register",
+	KindLigloRegisterd:  "liglo-registered",
+	KindLigloRejoin:     "liglo-rejoin",
+	KindLigloLookup:     "liglo-lookup",
+	KindLigloStatus:     "liglo-status",
+	KindLigloProbe:      "liglo-probe",
+	KindLigloPeers:      "liglo-peers",
+	KindLigloPeersList:  "liglo-peers-list",
+	KindSpan:            "span",
+	KindDepart:          "depart",
+	KindPeerList:        "peer-list",
+	KindPeerListOK:      "peer-list-ok",
+	KindLigloDeregister: "liglo-deregister",
 }
 
 // String returns the symbolic name of the kind.
