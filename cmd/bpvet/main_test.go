@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -62,5 +64,111 @@ func TestRunBadPattern(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-dir", fixtureDir, "testdata/src/no-such-dir"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestRunTypeErrorExitsTwo drives run() over a fixture that fails
+// type-checking: the loader error must surface on stderr and exit 2.
+func TestRunTypeErrorExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", fixtureDir, "testdata/src/broken"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "type-checking") {
+		t.Errorf("stderr missing type-check error: %q", errOut.String())
+	}
+}
+
+// TestRunMalformedIgnoreExitsOne: bare or reasonless bpvet:ignore
+// directives are findings of the pseudo-analyzer "ignore" and fail the
+// run even when no analyzer fires.
+func TestRunMalformedIgnoreExitsOne(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", fixtureDir, "testdata/src/badignore"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[ignore]") {
+		t.Errorf("output missing [ignore] findings:\n%s", out.String())
+	}
+}
+
+// TestRunJSON checks -json emits a parseable array of findings.
+func TestRunJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", fixtureDir, "-json", "testdata/src/busypoll"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json produced an empty findings array for a fixture with violations")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestBaselineRoundTrip: -write-baseline then -baseline must turn a
+// failing run into a clean one, and stay failing for findings not in
+// the ledger.
+func TestBaselineRoundTrip(t *testing.T) {
+	blPath := filepath.Join(t.TempDir(), "bl.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", fixtureDir, "-write-baseline", blPath, "testdata/src/busypoll"}, &out, &errOut); code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-dir", fixtureDir, "-baseline", blPath, "testdata/src/busypoll"}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout: %s", code, out.String())
+	}
+	// A different fixture's findings are not in the ledger: still red.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-dir", fixtureDir, "-baseline", blPath, "testdata/src/nakedgo"}, &out, &errOut); code != 1 {
+		t.Fatalf("unbaselined findings exit = %d, want 1", code)
+	}
+}
+
+// TestBaselineNeverMasksMalformedIgnores: the ignore grammar is not
+// baselineable — -write-baseline refuses, and a hand-edited ledger
+// entry would not match either.
+func TestBaselineNeverMasksMalformedIgnores(t *testing.T) {
+	blPath := filepath.Join(t.TempDir(), "bl.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", fixtureDir, "-write-baseline", blPath, "testdata/src/badignore"}, &out, &errOut); code != 1 {
+		t.Fatalf("-write-baseline over malformed ignores exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+}
+
+// TestRunIgnoresInventory checks -ignores lists the suppress fixture's
+// directives with their reasons.
+func TestRunIgnoresInventory(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", fixtureDir, "-ignores", "testdata/src/suppress"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"busypoll", "nakedgo", "droppederr", "fixture"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-ignores inventory missing %q:\n%s", want, got)
+		}
+	}
+	// Malformed directives turn the inventory run red.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-dir", fixtureDir, "-ignores", "testdata/src/badignore"}, &out, &errOut); code != 1 {
+		t.Fatalf("-ignores over malformed directives exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "MALFORMED") {
+		t.Errorf("-ignores output missing MALFORMED marker:\n%s", out.String())
 	}
 }

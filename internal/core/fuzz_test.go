@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"bestpeer/internal/wire"
+)
+
+// FuzzDecodeDepart: arbitrary bytes must never panic, every successful
+// decode must re-encode, and the version-tolerance contract must hold —
+// a payload whose leading version exceeds departVersion is accepted as
+// long as the fields we understand parse.
+func FuzzDecodeDepart(f *testing.F) {
+	id := wire.BPID{LIGLO: "lg1", Node: 7}
+	good := encodeDepart(&departMsg{
+		Version: departVersion,
+		ID:      id,
+		Hints:   []Peer{{ID: wire.BPID{LIGLO: "lg1", Node: 8}, Addr: "a:1"}, {ID: wire.BPID{LIGLO: "lg1", Node: 9}, Addr: "b:2"}},
+	})
+	f.Add(good)
+	// Newer-sender corpus: version bumped, unknown fields trailing.
+	var e wire.Encoder
+	e.Uvarint(departVersion + 1)
+	e.BPID(id)
+	e.Uvarint(0)
+	e.String("future-field")
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeDepart(data)
+		if err != nil {
+			return
+		}
+		if m.Version <= departVersion {
+			re := encodeDepart(m)
+			back, err := decodeDepart(re)
+			if err != nil {
+				t.Fatalf("re-encoded depart failed to decode: %v", err)
+			}
+			if back.ID != m.ID || len(back.Hints) != len(m.Hints) {
+				t.Fatal("depart round trip changed the message")
+			}
+		}
+	})
+}

@@ -23,6 +23,12 @@ import (
 // continues while pages come back full.
 const maxEventsPerPage = 512
 
+// maxScrapePages bounds how many full pages one scrape drains from a
+// single member. A member that answers every page full — buggy cursor
+// arithmetic, or a journal growing faster than we drain it — must not
+// wedge the scrape loop; the remainder is picked up next interval.
+const maxScrapePages = 64
+
 // NodeView is one member's contribution to a fleet snapshot.
 type NodeView struct {
 	// Admin is the member's admin endpoint (host:port) as registered
@@ -162,7 +168,7 @@ func (c *Collector) scrapeMember(addr string, cursor uint64) (*NodeView, []obs.E
 	var collected []obs.Event
 	var missed uint64
 	next := cursor
-	for {
+	for pages := 0; pages < maxScrapePages; pages++ {
 		var page obs.EventsPage
 		if err := c.getJSON(addr, fmt.Sprintf("/events?since=%d&max=%d", next, maxEventsPerPage), &page); err != nil {
 			view.Err = err.Error()

@@ -1,0 +1,127 @@
+package vet
+
+import "testing"
+
+const cgPath = "bestpeer/internal/vet/testdata/src/callgraph"
+
+// loadCallgraph builds the program over the two-package callgraph
+// fixture (parent + leaf), exercising cross-package loading.
+func loadCallgraph(t *testing.T) *Program {
+	t.Helper()
+	pkgs, err := Load(".", []string{"testdata/src/callgraph/..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (callgraph + leaf)", len(pkgs))
+	}
+	return BuildProgram(pkgs)
+}
+
+// targetsOf resolves every target of every site in fn to graph nodes.
+func targetsOf(pr *Program, fn *FuncNode) map[*FuncNode]EdgeKind {
+	out := make(map[*FuncNode]EdgeKind)
+	for i := range fn.Sites {
+		site := &fn.Sites[i]
+		for _, t := range site.Targets {
+			if n := pr.NodeOf(t); n != nil {
+				out[n] = site.Kind
+			}
+		}
+		for _, l := range site.Lits {
+			if n := pr.LitNode(l); n != nil {
+				out[n] = site.Kind
+			}
+		}
+	}
+	return out
+}
+
+// TestCallGraphEdges is the table-driven contract for the substrate:
+// each named caller must have an edge of the right kind to each named
+// callee.
+func TestCallGraphEdges(t *testing.T) {
+	pr := loadCallgraph(t)
+	cases := []struct {
+		caller string
+		callee string
+		kind   EdgeKind
+	}{
+		// Generic instantiations — int and string — share one node.
+		{"CallsGeneric", "Generic", EdgeStatic},
+		// Module-defined interface dispatch fans out to every
+		// implementation.
+		{"UseIface", "English.Greet", EdgeInterface},
+		{"UseIface", "French.Greet", EdgeInterface},
+		// A method value is a may-run-later edge.
+		{"MethodVal", "English.Greet", EdgeMethodValue},
+	}
+	for _, c := range cases {
+		caller := pr.FuncByName(cgPath, c.caller)
+		if caller == nil {
+			t.Fatalf("no node for %s", c.caller)
+		}
+		callee := pr.FuncByName(cgPath, c.callee)
+		if callee == nil {
+			t.Fatalf("no node for %s", c.callee)
+		}
+		kind, ok := targetsOf(pr, caller)[callee]
+		if !ok {
+			t.Errorf("%s: no edge to %s", c.caller, c.callee)
+			continue
+		}
+		if kind != c.kind {
+			t.Errorf("%s -> %s: edge kind %v, want %v", c.caller, c.callee, kind, c.kind)
+		}
+	}
+}
+
+// TestCallGraphGenericsShareNode pins that both instantiations of
+// Generic resolve to a single origin node (two sites, one target).
+func TestCallGraphGenericsShareNode(t *testing.T) {
+	pr := loadCallgraph(t)
+	caller := pr.FuncByName(cgPath, "CallsGeneric")
+	if caller == nil {
+		t.Fatal("no node for CallsGeneric")
+	}
+	if len(caller.Sites) != 2 {
+		t.Fatalf("CallsGeneric has %d sites, want 2", len(caller.Sites))
+	}
+	generic := pr.FuncByName(cgPath, "Generic")
+	for i := range caller.Sites {
+		callees := pr.staticCallees(&caller.Sites[i])
+		if len(callees) != 1 || callees[0] != generic {
+			t.Errorf("site %d resolves to %v, want the single Generic origin node", i, callees)
+		}
+	}
+}
+
+// TestCallGraphCrossPackage pins exported-function resolution across
+// package boundaries: callgraph.Cross -> leaf.Add.
+func TestCallGraphCrossPackage(t *testing.T) {
+	pr := loadCallgraph(t)
+	caller := pr.FuncByName(cgPath, "Cross")
+	add := pr.FuncByName(cgPath+"/leaf", "Add")
+	if caller == nil || add == nil {
+		t.Fatalf("missing nodes: Cross=%v leaf.Add=%v", caller, add)
+	}
+	if _, ok := targetsOf(pr, caller)[add]; !ok {
+		t.Error("Cross has no static edge to leaf.Add")
+	}
+}
+
+// TestCallGraphImmediateLiteral pins that an immediately-invoked
+// literal is a synchronous edge to its own node.
+func TestCallGraphImmediateLiteral(t *testing.T) {
+	pr := loadCallgraph(t)
+	caller := pr.FuncByName(cgPath, "Immediate")
+	if caller == nil {
+		t.Fatal("no node for Immediate")
+	}
+	if len(caller.Sites) != 1 || len(caller.Sites[0].Lits) != 1 {
+		t.Fatalf("Immediate sites = %+v, want one literal site", caller.Sites)
+	}
+	if n := pr.LitNode(caller.Sites[0].Lits[0]); n == nil || n.Body == nil {
+		t.Error("literal site does not resolve to a literal node")
+	}
+}

@@ -1,0 +1,454 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// codecdrift machine-checks the hand-rolled codec convention: every
+// encodeX function is paired with a decodeX counterpart, and the two
+// sides stay symmetric. Concretely, for each pair it
+//
+//   - extracts the sequence of Encoder/Decoder primitive operations
+//     (Uvarint, String, BPID, ...) in source order, with loop nesting
+//     and version-conditional gating preserved, and requires the two
+//     sequences to be identical — a field written but not read (or read
+//     out of order, or gated on only one side) is a finding;
+//   - for versioned pairs (the encoder's first operation writes a value
+//     whose expression mentions "version"), requires the decoder to
+//     compare the version it read — otherwise newer senders' payloads
+//     are misparsed instead of tolerated;
+//   - in a package declaring extension-tag constants (const ext<Name> =
+//     n of basic type), requires each tag to be both written by the
+//     encode path and matched in a decode switch — a tag used on one
+//     side only means frames carry bytes nobody reads, or a decoder
+//     waits for bytes nobody sends;
+//   - requires each versioned or extension-carried pair to have a fuzz
+//     corpus seed: a file under <pkg>/testdata/fuzz/<FuzzTarget>/ whose
+//     name contains the pair name in lowercase (for example
+//     tracecontext-v1 for encodeTraceContext). Seeds keep the fuzzer
+//     reaching every extension arm from the first run in CI.
+//
+// The operation vocabulary is matched by receiver type name (Encoder /
+// Decoder) and method name, so the check applies to any package using
+// the wire primitives; hand-rolled binary.BigEndian codecs (the
+// envelope framing itself) have no operations on either side and pass
+// vacuously — framing symmetry is the fuzzers' job.
+type codecdrift struct{}
+
+func (codecdrift) Name() string { return "codecdrift" }
+func (codecdrift) Doc() string {
+	return "encode/decode pairs must agree on field order, version gating, and carry fuzz corpus seeds"
+}
+
+// codecOps is the Encoder/Decoder primitive vocabulary. Decoder-only
+// bookkeeping (Err, Finish, Remaining) is deliberately absent.
+var codecOps = map[string]bool{
+	"Uvarint": true, "Varint": true, "Uint8": true, "Bool": true,
+	"Float64": true, "String": true, "Bytes2": true, "MsgID": true, "BPID": true,
+}
+
+// shapeOp is one primitive operation in an encode or decode body.
+type shapeOp struct {
+	Op    string
+	Loop  int  // enclosing loop nesting depth
+	Gated bool // under an if whose condition mentions a version
+	Pos   token.Pos
+	// VerArg marks an encoder operation whose argument mentions a
+	// version — the marker of a versioned pair. Not part of shape
+	// equality (the decode side reads into a field, argument-free).
+	VerArg bool
+}
+
+func (o shapeOp) render() string {
+	s := strings.Repeat("[", o.Loop) + o.Op + strings.Repeat("]", o.Loop)
+	if o.Gated {
+		s = "v?" + s
+	}
+	return s
+}
+
+func renderShape(ops []shapeOp) string {
+	if len(ops) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.render()
+	}
+	return strings.Join(parts, " ")
+}
+
+// codecPair is one encodeX/decodeX couple within a package.
+type codecPair struct {
+	name           string // X
+	enc, dec       *ast.FuncDecl
+	encOps, decOps []shapeOp
+	versioned      bool
+}
+
+func (codecdrift) RunProgram(p *ProgramPass) {
+	for _, pkg := range p.Prog.Pkgs {
+		checkPackageCodecs(p, pkg)
+	}
+}
+
+func checkPackageCodecs(p *ProgramPass, pkg *Package) {
+	pairs := make(map[string]*codecPair)
+	var order []string
+	visit := func(name string) *codecPair {
+		pr, ok := pairs[name]
+		if !ok {
+			pr = &codecPair{name: name}
+			pairs[name] = pr
+			order = append(order, name)
+		}
+		return pr
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			if rest, ok := strings.CutPrefix(fd.Name.Name, "encode"); ok && rest != "" {
+				visit(rest).enc = fd
+			} else if rest, ok := strings.CutPrefix(fd.Name.Name, "decode"); ok && rest != "" {
+				visit(rest).dec = fd
+			}
+		}
+	}
+
+	for _, name := range order {
+		pair := pairs[name]
+		if pair.enc != nil {
+			pair.encOps = codecShape(pkg.Info, pair.enc.Body, "Encoder")
+		}
+		if pair.dec != nil {
+			pair.decOps = codecShape(pkg.Info, pair.dec.Body, "Decoder")
+		}
+		pair.versioned = len(pair.encOps) > 0 && pair.encOps[0].VerArg
+		checkPair(p, pkg, pair)
+	}
+	checkExtTags(p, pkg)
+	checkCorpusSeeds(p, pkg, pairs, order)
+}
+
+func checkPair(p *ProgramPass, pkg *Package, pair *codecPair) {
+	switch {
+	case pair.enc == nil && len(pair.decOps) > 0:
+		p.Reportf(pair.dec.Pos(), "decode%s has no encode%s counterpart in this package", pair.name, pair.name)
+		return
+	case pair.dec == nil && len(pair.encOps) > 0:
+		p.Reportf(pair.enc.Pos(), "encode%s has no decode%s counterpart in this package", pair.name, pair.name)
+		return
+	case pair.enc == nil || pair.dec == nil:
+		return
+	}
+
+	if i, ok := shapeMismatch(pair.encOps, pair.decOps); ok {
+		wrote, read := "nothing", "nothing"
+		pos := pair.dec.Pos()
+		if i < len(pair.encOps) {
+			wrote = pair.encOps[i].render()
+		}
+		if i < len(pair.decOps) {
+			read = pair.decOps[i].render()
+			pos = pair.decOps[i].Pos
+		}
+		p.Reportf(pos, "encode%s/decode%s drift at field %d: encoder writes %s, decoder reads %s (encode: %s | decode: %s)",
+			pair.name, pair.name, i+1, wrote, read, renderShape(pair.encOps), renderShape(pair.decOps))
+	}
+
+	if pair.versioned && !comparesVersion(pkg.Info, pair.dec.Body) {
+		p.Reportf(pair.dec.Pos(), "decode%s reads a version but never compares it; newer senders' payloads will be rejected instead of tolerated",
+			pair.name)
+	}
+}
+
+// shapeMismatch returns the first index where the two op sequences
+// disagree (op, loop depth, or gating).
+func shapeMismatch(enc, dec []shapeOp) (int, bool) {
+	n := len(enc)
+	if len(dec) < n {
+		n = len(dec)
+	}
+	for i := 0; i < n; i++ {
+		if enc[i].Op != dec[i].Op || enc[i].Loop != dec[i].Loop || enc[i].Gated != dec[i].Gated {
+			return i, true
+		}
+	}
+	if len(enc) != len(dec) {
+		return n, true
+	}
+	return 0, false
+}
+
+// codecShape extracts the primitive-operation sequence from one body.
+// recvName selects the side: methods on a type named Encoder or Decoder.
+// Nested function literals are skipped — their operations belong to the
+// function that invokes them, which the analyzer does not inline.
+func codecShape(info *types.Info, body *ast.BlockStmt, recvName string) []shapeOp {
+	var ops []shapeOp
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, anc := range stack {
+			if _, isLit := anc.(*ast.FuncLit); isLit {
+				return
+			}
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !codecOps[sel.Sel.Name] {
+			return
+		}
+		named := namedFrom(info.TypeOf(sel.X))
+		if named == nil || named.Obj().Name() != recvName {
+			return
+		}
+		op := shapeOp{Op: sel.Sel.Name, Pos: call.Pos()}
+		if len(call.Args) > 0 && mentionsVersion(call.Args[0]) {
+			op.VerArg = true
+		}
+		for i, anc := range stack {
+			// child is the next node on the path from this ancestor down
+			// to the call.
+			child := ast.Node(call)
+			if i+1 < len(stack) {
+				child = stack[i+1]
+			}
+			switch a := anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				op.Loop++
+			case *ast.IfStmt:
+				// Init (if v := d.Uint8(); ...) and Cond evaluate
+				// unconditionally — only the branches are gated.
+				if (ast.Node(a.Body) == child || a.Else == child) && mentionsVersion(a.Cond) {
+					op.Gated = true
+				}
+			}
+		}
+		ops = append(ops, op)
+	})
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Pos < ops[j].Pos })
+	return ops
+}
+
+// mentionsVersion reports whether any identifier under e reads as a
+// version ("version", "Version", "departVersion", ...).
+func mentionsVersion(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "version") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// comparesVersion reports whether the body contains a comparison whose
+// operands mention a version — the decoder-side tolerance gate.
+func comparesVersion(info *types.Info, body *ast.BlockStmt) bool {
+	_ = info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return !found
+		}
+		switch b.Op {
+		case token.GTR, token.GEQ, token.LSS, token.LEQ, token.EQL, token.NEQ:
+			if mentionsVersion(b.X) || mentionsVersion(b.Y) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkExtTags verifies every extension-tag constant (ext<Name> of
+// basic type) is used on both the encode side (as a call argument) and
+// the decode side (in a case clause).
+func checkExtTags(p *ProgramPass, pkg *Package) {
+	type tagUse struct {
+		obj types.Object
+		pos token.Pos
+		enc bool
+		dec bool
+	}
+	tags := make(map[types.Object]*tagUse)
+	var order []types.Object
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "ext") || len(name) < 4 || name[3] < 'A' || name[3] > 'Z' {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if _, basic := c.Type().(*types.Basic); !basic {
+			continue
+		}
+		tags[c] = &tagUse{obj: c, pos: c.Pos()}
+		order = append(order, c)
+	}
+	if len(tags) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			use := tags[pkg.Info.Uses[id]]
+			if use == nil {
+				return
+			}
+			for i := len(stack) - 1; i >= 0; i-- {
+				// child is the node on the path from this ancestor down
+				// to the identifier.
+				child := ast.Node(id)
+				if i+1 < len(stack) {
+					child = stack[i+1]
+				}
+				switch anc := stack[i].(type) {
+				case *ast.CaseClause:
+					for _, e := range anc.List {
+						if ast.Node(e) == child {
+							use.dec = true
+							return
+						}
+					}
+				case *ast.CallExpr:
+					for _, arg := range anc.Args {
+						if ast.Node(arg) == child {
+							use.enc = true
+							return
+						}
+					}
+				}
+			}
+		})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Pos() < order[j].Pos() })
+	for _, obj := range order {
+		use := tags[obj]
+		switch {
+		case use.enc && !use.dec:
+			p.Reportf(use.pos, "extension tag %s is written by the encoder but never matched by the decoder: receivers silently drop it", obj.Name())
+		case use.dec && !use.enc:
+			p.Reportf(use.pos, "extension tag %s is matched by the decoder but never written by the encoder: dead decode arm or missing encode path", obj.Name())
+		}
+	}
+}
+
+// checkCorpusSeeds requires a fuzz corpus seed per versioned or
+// extension-carried pair: a file under testdata/fuzz/*/ whose name
+// contains the pair name lowercased.
+func checkCorpusSeeds(p *ProgramPass, pkg *Package, pairs map[string]*codecPair, order []string) {
+	var need []*codecPair
+	extPairs := extensionPairs(pkg)
+	for _, name := range order {
+		pair := pairs[name]
+		if pair.enc == nil || pair.dec == nil {
+			continue
+		}
+		if pair.versioned || extPairs[name] {
+			need = append(need, pair)
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	seeds := corpusFiles(pkg.Dir)
+	for _, pair := range need {
+		want := strings.ToLower(pair.name)
+		found := false
+		for _, s := range seeds {
+			if strings.Contains(strings.ToLower(s), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			p.Reportf(pair.enc.Pos(), "versioned codec pair %s has no fuzz corpus seed: add testdata/fuzz/<FuzzTarget>/%s-v1 so CI fuzzing reaches this arm",
+				pair.name, want)
+		}
+	}
+}
+
+// extensionPairs finds pairs whose encoded payload is handed to an
+// extension-record writer alongside an ext tag: a call of the shape
+// someAppend(..., extTag, encodeX(...)).
+func extensionPairs(pkg *Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			hasTag := false
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && strings.HasPrefix(id.Name, "ext") {
+					hasTag = true
+				}
+			}
+			if !hasTag {
+				return true
+			}
+			for _, arg := range call.Args {
+				inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := inner.Fun.(*ast.Ident); ok {
+					if rest, ok := strings.CutPrefix(id.Name, "encode"); ok && rest != "" {
+						out[rest] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// corpusFiles lists every file under dir/testdata/fuzz/*/.
+func corpusFiles(dir string) []string {
+	root := filepath.Join(dir, "testdata", "fuzz")
+	targets, err := os.ReadDir(root)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, t := range targets {
+		if !t.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, t.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if !f.IsDir() {
+				out = append(out, f.Name())
+			}
+		}
+	}
+	return out
+}

@@ -64,7 +64,10 @@ func wantsOf(pkg *Package) map[string]*regexp.Regexp {
 // compares findings against the fixture's // want expectations, both
 // ways: every finding must be expected, every expectation must fire.
 func TestAnalyzersGolden(t *testing.T) {
-	names := []string{"lockedsend", "nakedgo", "blockingsend", "busypoll", "droppederr", "ttlpair", "statsdrift", "eventdrift"}
+	names := []string{
+		"lockedsend", "nakedgo", "blockingsend", "busypoll", "droppederr", "ttlpair",
+		"statsdrift", "eventdrift", "lockorder", "goleak", "codecdrift",
+	}
 	fixtures := loadFixtures(t, names...)
 	for _, name := range names {
 		t.Run(name, func(t *testing.T) {
@@ -120,17 +123,26 @@ func TestSuppression(t *testing.T) {
 // rawFindings counts findings before suppression filtering.
 func rawFindings(pkg *Package) int {
 	var diags []Diagnostic
+	var prog *Program
 	for _, a := range All() {
-		pass := &Pass{
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			PkgPath:  pkg.Path,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			analyzer: a.Name(),
-			out:      &diags,
+		switch an := a.(type) {
+		case PackageAnalyzer:
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a.Name(),
+				out:      &diags,
+			}
+			an.Run(pass)
+		case ProgramAnalyzer:
+			if prog == nil {
+				prog = BuildProgram([]*Package{pkg})
+			}
+			an.RunProgram(&ProgramPass{Prog: prog, analyzer: a.Name(), out: &diags})
 		}
-		a.Run(pass)
 	}
 	return len(diags)
 }
@@ -138,18 +150,28 @@ func rawFindings(pkg *Package) int {
 // TestParseIgnore pins the suppression comment grammar.
 func TestParseIgnore(t *testing.T) {
 	cases := []struct {
-		comment string
-		want    []string
+		comment   string
+		want      []string
+		reason    string
+		directive bool
 	}{
-		{"//bpvet:ignore busypoll some rationale", []string{"busypoll"}},
-		{"// bpvet:ignore nakedgo droppederr: both are intentional", []string{"nakedgo", "droppederr"}},
-		{"//bpvet:ignore busypoll, droppederr trailing commas ok", []string{"busypoll", "droppederr"}},
-		{"//bpvet:ignore", nil},
-		{"//bpvet:ignore notananalyzer rationale", nil},
-		{"// a normal comment", nil},
+		{"//bpvet:ignore busypoll some rationale", []string{"busypoll"}, "some rationale", true},
+		{"// bpvet:ignore nakedgo droppederr: both are intentional", []string{"nakedgo", "droppederr"}, "both are intentional", true},
+		{"//bpvet:ignore busypoll, droppederr trailing commas ok", []string{"busypoll", "droppederr"}, "trailing commas ok", true},
+		{"//bpvet:ignore", nil, "", true},
+		{"//bpvet:ignore notananalyzer rationale", nil, "notananalyzer rationale", true},
+		{"//bpvet:ignore busypoll", []string{"busypoll"}, "", true},
+		{"// a normal comment", nil, "", false},
 	}
 	for _, c := range cases {
-		got := parseIgnore(c.comment)
+		got, reason, directive := parseIgnore(c.comment)
+		if directive != c.directive {
+			t.Errorf("parseIgnore(%q) directive = %v, want %v", c.comment, directive, c.directive)
+			continue
+		}
+		if reason != c.reason {
+			t.Errorf("parseIgnore(%q) reason = %q, want %q", c.comment, reason, c.reason)
+		}
 		if len(got) != len(c.want) {
 			t.Errorf("parseIgnore(%q) = %v, want %v", c.comment, got, c.want)
 			continue
@@ -162,9 +184,33 @@ func TestParseIgnore(t *testing.T) {
 	}
 }
 
+// TestMalformedIgnores pins the strict directive grammar: a bare ignore
+// and an unknown-analyzer ignore both become unsuppressible findings of
+// the pseudo-analyzer "ignore".
+func TestMalformedIgnores(t *testing.T) {
+	fixtures := loadFixtures(t, "badignore")
+	pkg := fixtures["badignore"]
+	if pkg == nil {
+		t.Fatal("badignore fixture not loaded")
+	}
+	diags := Run([]*Package{pkg}, All())
+	var ignoreFindings int
+	for _, d := range diags {
+		if d.Analyzer == "ignore" {
+			ignoreFindings++
+		}
+	}
+	if ignoreFindings != 3 {
+		t.Errorf("got %d ignore-grammar findings, want 3: %v", ignoreFindings, diags)
+	}
+}
+
 // TestSuiteNames pins the analyzer set the docs and Makefile refer to.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"lockedsend", "nakedgo", "blockingsend", "busypoll", "droppederr", "ttlpair", "statsdrift", "eventdrift"}
+	want := []string{
+		"lockedsend", "nakedgo", "blockingsend", "busypoll", "droppederr", "ttlpair",
+		"statsdrift", "eventdrift", "lockorder", "goleak", "codecdrift",
+	}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,9 @@
+// Package badignore is a bpvet fixture: every bpvet:ignore here is
+// malformed and must surface as an "ignore" finding.
+package badignore
+
+func bare() {} //bpvet:ignore
+
+func unknown() {} //bpvet:ignore notananalyzer this analyzer does not exist
+
+func reasonless() {} //bpvet:ignore busypoll

@@ -1,0 +1,7 @@
+// Package broken is a driver fixture: it deliberately fails
+// type-checking so bpvet's loader-error exit path can be tested.
+package broken
+
+func typeError() int {
+	return "not an int"
+}

@@ -1,0 +1,41 @@
+// Package callgraph is the fixture for the whole-program substrate:
+// generic instantiation, interface dispatch, method values, immediate
+// literals and cross-package resolution.
+package callgraph
+
+import "bestpeer/internal/vet/testdata/src/callgraph/leaf"
+
+// Greeter is a module-defined interface with two implementations.
+type Greeter interface {
+	Greet() string
+}
+
+type English struct{}
+
+func (English) Greet() string { return "hi" }
+
+type French struct{}
+
+func (French) Greet() string { return "salut" }
+
+// UseIface dispatches through the interface.
+func UseIface(g Greeter) string { return g.Greet() }
+
+// Generic has two instantiations below; both resolve to one node.
+func Generic[T any](v T) T { return v }
+
+func CallsGeneric() {
+	_ = Generic(1)
+	_ = Generic("x")
+}
+
+// MethodVal captures a method without calling it.
+func MethodVal(e English) func() string { return e.Greet }
+
+// Cross calls into a sibling package.
+func Cross() int { return leaf.Add(1, 2) }
+
+// Immediate invokes a literal synchronously.
+func Immediate() int {
+	return func() int { return 1 }()
+}

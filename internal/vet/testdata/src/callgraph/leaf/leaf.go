@@ -1,0 +1,5 @@
+// Package leaf is the cross-package target for the callgraph fixture.
+package leaf
+
+// Add is called from the parent fixture package.
+func Add(a, b int) int { return a + b }

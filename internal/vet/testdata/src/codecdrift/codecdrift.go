@@ -1,0 +1,186 @@
+// Package codecdrift is a bpvet fixture for the codec-symmetry
+// analyzer: encode/decode pairs that agree, drift, gate versions on one
+// side only, and extension tags written but never decoded.
+package codecdrift
+
+// Encoder and Decoder mirror the wire primitives; codecdrift matches
+// operations by receiver type name and method vocabulary.
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) Uvarint(v uint64) { _ = v }
+func (e *Encoder) String(s string)  { _ = s }
+func (e *Encoder) Bool(v bool)      { _ = v }
+func (e *Encoder) Bytes() []byte    { return e.buf }
+
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+func (d *Decoder) Uvarint() uint64 { return 0 }
+func (d *Decoder) String() string  { return "" }
+func (d *Decoder) Bool() bool      { return false }
+func (d *Decoder) Finish() error   { return nil }
+
+// good is a symmetric pair: same fields, same order, loop mirrored.
+type good struct {
+	Name  string
+	Items []string
+}
+
+func encodeGood(g *good) []byte {
+	var e Encoder
+	e.String(g.Name)
+	e.Uvarint(uint64(len(g.Items)))
+	for _, it := range g.Items {
+		e.String(it)
+	}
+	return e.Bytes()
+}
+
+func decodeGood(b []byte) (*good, error) {
+	d := NewDecoder(b)
+	g := &good{Name: d.String()}
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		g.Items = append(g.Items, d.String())
+	}
+	return g, d.Finish()
+}
+
+// drift mimics a one-sided field add: the encoder grew a third field,
+// the decoder was never updated.
+type drift struct {
+	Version uint64
+	Name    string
+	Sticky  bool
+}
+
+func encodeDrift(m *drift) []byte {
+	var e Encoder
+	e.Uvarint(m.Version)
+	e.String(m.Name)
+	e.Bool(m.Sticky)
+	return e.Bytes()
+}
+
+func decodeDrift(b []byte) (*drift, error) { // want `drift at field 3`
+	d := NewDecoder(b)
+	m := &drift{Version: d.Uvarint()}
+	m.Name = d.String()
+	if m.Version > 1 {
+		return m, nil
+	}
+	return m, d.Finish()
+}
+
+// gated mimics a field version-gated on the encode side only: old
+// decoders written against v1 still read the field unconditionally.
+type gated struct {
+	Version uint64
+	Extra   string
+}
+
+func encodeGated(m *gated) []byte {
+	var e Encoder
+	e.Uvarint(m.Version)
+	if m.Version >= 2 {
+		e.String(m.Extra)
+	}
+	return e.Bytes()
+}
+
+func decodeGated(b []byte) (*gated, error) {
+	d := NewDecoder(b)
+	m := &gated{Version: d.Uvarint()}
+	m.Extra = d.String() // want `drift at field 2`
+	if m.Version > 1 {
+		return m, nil
+	}
+	return m, d.Finish()
+}
+
+// notol reads a version and then ignores it: newer senders' payloads
+// fail Finish instead of being tolerated.
+type notol struct {
+	Version uint64
+	Name    string
+}
+
+func encodeNotol(m *notol) []byte {
+	var e Encoder
+	e.Uvarint(m.Version)
+	e.String(m.Name)
+	return e.Bytes()
+}
+
+func decodeNotol(b []byte) (*notol, error) { // want `never compares it`
+	d := NewDecoder(b)
+	m := &notol{Version: d.Uvarint()}
+	m.Name = d.String()
+	return m, d.Finish()
+}
+
+// noseed is a well-formed versioned pair with no fuzz corpus seed.
+type noseed struct {
+	Version uint64
+}
+
+func encodeNoseed(m *noseed) []byte { // want `no fuzz corpus seed`
+	var e Encoder
+	e.Uvarint(m.Version)
+	return e.Bytes()
+}
+
+func decodeNoseed(b []byte) (*noseed, error) {
+	d := NewDecoder(b)
+	m := &noseed{Version: d.Uvarint()}
+	if m.Version > 1 {
+		return m, nil
+	}
+	return m, d.Finish()
+}
+
+// encodeOrphan writes fields nobody can read back.
+func encodeOrphan(name string) []byte { // want `no decodeOrphan counterpart`
+	var e Encoder
+	e.String(name)
+	return e.Bytes()
+}
+
+// Extension registry: extGood is round-tripped, extOld is written but
+// no decoder arm matches it — receivers silently drop the record.
+const (
+	extGood = 1
+	extOld  = 2 // want `never matched by the decoder`
+)
+
+func appendExt(buf []byte, tag uint8, payload []byte) []byte {
+	buf = append(buf, tag, byte(len(payload)))
+	return append(buf, payload...)
+}
+
+func encodeFrame(g *good) []byte {
+	var buf []byte
+	buf = appendExt(buf, extGood, encodeGood(g))
+	buf = appendExt(buf, extOld, nil)
+	return buf
+}
+
+func decodeFrame(b []byte) (*good, error) {
+	for len(b) >= 2 {
+		tag, n := b[0], int(b[1])
+		if len(b) < 2+n {
+			break
+		}
+		payload := b[2 : 2+n]
+		b = b[2+n:]
+		switch tag {
+		case extGood:
+			return decodeGood(payload)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,108 @@
+// Package goleak is a bpvet fixture for the goroutine-lifecycle
+// analyzer: spawns with and without a termination path.
+package goleak
+
+import (
+	"sync"
+	"time"
+)
+
+type worker struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startOK selects on a stop channel — fine.
+func (w *worker) startOK() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+}
+
+// startLeak spins forever with no exit of any kind.
+func (w *worker) startLeak() {
+	go func() { // want `unbounded loop`
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// startIndirect leaks through a named function.
+func (w *worker) startIndirect() {
+	go w.run() // want `unbounded loop`
+}
+
+func (w *worker) run() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// startDeep leaks two call levels below the spawn.
+func (w *worker) startDeep() {
+	go func() { // want `unbounded loop in goleak.worker.run`
+		w.step()
+	}()
+}
+
+func (w *worker) step() { w.run() }
+
+// startTracked exits on channel close and is WaitGroup-tracked — fine.
+func (w *worker) startTracked(jobs chan int) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			j, ok := <-jobs
+			if !ok {
+				return
+			}
+			_ = j
+		}
+	}()
+}
+
+// startUntracked has the same exit but nobody observes it.
+func (w *worker) startUntracked(jobs chan int) {
+	go func() { // want `unbounded loop`
+		for {
+			if _, ok := <-jobs; !ok {
+				return
+			}
+		}
+	}()
+}
+
+// startRange drains a channel — terminates when the producer closes it.
+func (w *worker) startRange(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// startBounded counts to a limit — fine.
+func (w *worker) startBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// startValue spawns a function value the analyzer cannot see into.
+func (w *worker) startValue(fn func()) {
+	go fn() // want `termination cannot be verified`
+}
+
+// startStdlib spawns a function outside the module.
+func (w *worker) startStdlib() {
+	go time.Sleep(time.Millisecond) // want `outside the module`
+}

@@ -1,0 +1,105 @@
+// Package lockorder is a bpvet fixture for the inter-procedural
+// deadlock analyzer: AB/BA inversions, same-mutex re-entry (direct and
+// through a callee), and the shapes that must stay silent.
+package lockorder
+
+import "sync"
+
+type server struct {
+	mu sync.Mutex
+	db sync.Mutex
+}
+
+// abPath acquires db while holding mu; together with baPath below this
+// is the classic inversion. The cycle is reported once, at this edge
+// (the lexically-first witness).
+func (s *server) abPath() {
+	s.mu.Lock()
+	s.db.Lock() // want `lock-order cycle`
+	s.db.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) baPath() {
+	s.db.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.db.Unlock()
+}
+
+// reenter locks the same class twice in one body.
+func (s *server) reenter() {
+	s.mu.Lock()
+	s.mu.Lock() // want `self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// outer calls into a function that acquires the lock outer still holds.
+func (s *server) outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locked() // want `self-deadlock`
+}
+
+func (s *server) locked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// deep re-enters through two call levels: outer2 -> middle -> locked.
+func (s *server) deep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.middle() // want `self-deadlock`
+}
+
+func (s *server) middle() { s.locked() }
+
+type rw struct {
+	m sync.RWMutex
+}
+
+// sharedOK: RLock under RLock on the same RWMutex is legal — no finding.
+func (r *rw) sharedOK() {
+	r.m.RLock()
+	r.readAgain()
+	r.m.RUnlock()
+}
+
+func (r *rw) readAgain() {
+	r.m.RLock()
+	r.m.RUnlock()
+}
+
+// writeUnderRead: an exclusive Lock while a shared hold is in place is
+// still a self-deadlock.
+func (r *rw) writeUnderRead() {
+	r.m.RLock()
+	defer r.m.RUnlock()
+	r.write() // want `self-deadlock`
+}
+
+func (r *rw) write() {
+	r.m.Lock()
+	r.m.Unlock()
+}
+
+// handoff releases before calling — no finding.
+func (s *server) handoff() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.locked()
+}
+
+// spawned runs the locking callee on its own goroutine: no synchronous
+// edge, no finding from lockorder (goleak owns go-statement rules).
+func (s *server) spawned(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.locked()
+	}()
+}

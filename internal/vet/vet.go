@@ -9,13 +9,21 @@
 // on the standard library (go/ast, go/parser, go/types, go/importer) so
 // go.mod stays dependency-free.
 //
+// Since v2 the framework has two analyzer shapes: PackageAnalyzer (one
+// type-checked package at a time, like go/analysis) and ProgramAnalyzer
+// (the whole module at once, over the call-graph substrate in
+// callgraph.go). Run drives both from one analyzer list.
+//
 // Findings can be suppressed with a comment on the offending line or the
 // line directly above it:
 //
 //	//bpvet:ignore <analyzer> [<analyzer>...] rationale...
 //
-// The rationale is free text; listing the analyzer names is mandatory so
-// a suppression never outlives the rule it silences.
+// Both parts are mandatory: naming the analyzers ties the suppression to
+// the rule it silences, and the rationale records why the finding is a
+// false positive or an accepted risk. A bpvet:ignore comment with no
+// known analyzer name or no rationale is itself reported (analyzer
+// "ignore") and cannot be suppressed or baselined away.
 package vet
 
 import (
@@ -63,15 +71,44 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of an expression, or nil when unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
-// Analyzer is one invariant checker.
+// ProgramPass carries the whole-program view through one ProgramAnalyzer.
+type ProgramPass struct {
+	Prog *Program
+
+	analyzer string
+	out      *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker: either a PackageAnalyzer or a
+// ProgramAnalyzer (or both, though none currently is).
 type Analyzer interface {
 	// Name is the short identifier used in output and in
 	// //bpvet:ignore comments.
 	Name() string
 	// Doc is a one-line description of the enforced rule.
 	Doc() string
-	// Run inspects one package and reports findings on the pass.
+}
+
+// PackageAnalyzer inspects one type-checked package at a time.
+type PackageAnalyzer interface {
+	Analyzer
 	Run(p *Pass)
+}
+
+// ProgramAnalyzer inspects the whole loaded module at once, over the
+// call-graph and flow-facts substrate.
+type ProgramAnalyzer interface {
+	Analyzer
+	RunProgram(p *ProgramPass)
 }
 
 // All returns the full bpvet analyzer suite in stable order.
@@ -85,15 +122,24 @@ func All() []Analyzer {
 		ttlpair{},
 		statsdrift{},
 		eventdrift{},
+		lockorder{},
+		goleak{},
+		codecdrift{},
 	}
 }
 
 // Run applies the analyzers to every package, filters suppressed
-// findings, and returns the remainder sorted by position.
+// findings, and returns the remainder sorted by position. Malformed
+// //bpvet:ignore comments are appended as findings of the pseudo
+// analyzer "ignore"; those cannot themselves be suppressed.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			pa, ok := a.(PackageAnalyzer)
+			if !ok {
+				continue
+			}
 			pass := &Pass{
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
@@ -103,10 +149,24 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 				analyzer: a.Name(),
 				out:      &diags,
 			}
-			a.Run(pass)
+			pa.Run(pass)
 		}
-		diags = filterSuppressed(pkg, diags)
 	}
+	var prog *Program
+	for _, a := range analyzers {
+		pa, ok := a.(ProgramAnalyzer)
+		if !ok {
+			continue
+		}
+		if prog == nil {
+			prog = BuildProgram(pkgs)
+		}
+		pa.RunProgram(&ProgramPass{Prog: prog, analyzer: a.Name(), out: &diags})
+	}
+
+	directives, bad := CollectIgnores(pkgs)
+	diags = filterSuppressed(directives, diags)
+	diags = append(diags, bad...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -120,38 +180,75 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	return diags
 }
 
-// filterSuppressed drops findings in pkg's files that a //bpvet:ignore
-// comment on the same or the preceding line covers. Findings from other
-// packages pass through untouched.
-func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// file -> line -> suppressed analyzer names.
-	suppressed := make(map[string]map[int]map[string]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names := parseIgnore(c.Text)
-				if len(names) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				byLine := suppressed[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					suppressed[pos.Filename] = byLine
-				}
-				set := byLine[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					byLine[pos.Line] = set
-				}
-				for _, n := range names {
-					set[n] = true
+// IgnoreDirective is one well-formed //bpvet:ignore comment.
+type IgnoreDirective struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+}
+
+// CollectIgnores scans every comment in pkgs for bpvet:ignore
+// directives. Well-formed ones (at least one known analyzer name plus a
+// non-empty rationale) are returned as directives; malformed ones come
+// back as findings of the pseudo-analyzer "ignore".
+func CollectIgnores(pkgs []*Package) ([]IgnoreDirective, []Diagnostic) {
+	var dirs []IgnoreDirective
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, reason, isDirective := parseIgnore(c.Text)
+					if !isDirective {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					switch {
+					case len(names) == 0:
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: "ignore",
+							Message:  "bpvet:ignore names no known analyzer; write //bpvet:ignore <analyzer> <reason>",
+						})
+					case reason == "":
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: "ignore",
+							Message: fmt.Sprintf("bpvet:ignore %s carries no reason; every suppression must say why",
+								strings.Join(names, ", ")),
+						})
+					default:
+						dirs = append(dirs, IgnoreDirective{Pos: pos, Analyzers: names, Reason: reason})
+					}
 				}
 			}
 		}
 	}
-	if len(suppressed) == 0 {
+	return dirs, bad
+}
+
+// filterSuppressed drops findings that a well-formed //bpvet:ignore
+// directive on the same or the preceding line covers.
+func filterSuppressed(directives []IgnoreDirective, diags []Diagnostic) []Diagnostic {
+	if len(directives) == 0 {
 		return diags
+	}
+	// file -> line -> suppressed analyzer names.
+	suppressed := make(map[string]map[int]map[string]bool)
+	for _, dir := range directives {
+		byLine := suppressed[dir.Pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			suppressed[dir.Pos.Filename] = byLine
+		}
+		set := byLine[dir.Pos.Line]
+		if set == nil {
+			set = make(map[string]bool)
+			byLine[dir.Pos.Line] = set
+		}
+		for _, n := range dir.Analyzers {
+			set[n] = true
+		}
 	}
 	kept := diags[:0]
 	for _, d := range diags {
@@ -164,28 +261,31 @@ func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
 	return kept
 }
 
-// parseIgnore extracts analyzer names from a //bpvet:ignore comment.
-// Names are the leading whitespace-separated tokens (trailing commas
-// tolerated); everything after the first non-name token is rationale.
-func parseIgnore(comment string) []string {
+// parseIgnore splits a //bpvet:ignore comment into analyzer names and
+// rationale. Names are the leading whitespace-separated tokens that
+// match known analyzers (trailing commas/colons tolerated); everything
+// after the first non-name token is the rationale. isDirective is false
+// when the comment is not a bpvet:ignore directive at all.
+func parseIgnore(comment string) (names []string, reason string, isDirective bool) {
 	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
 	rest, ok := strings.CutPrefix(text, "bpvet:ignore")
 	if !ok {
-		return nil
+		return nil, "", false
 	}
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name()] = true
 	}
-	var names []string
-	for _, tok := range strings.Fields(rest) {
-		tok = strings.TrimRight(tok, ",:")
+	fields := strings.Fields(rest)
+	i := 0
+	for ; i < len(fields); i++ {
+		tok := strings.TrimRight(fields[i], ",:")
 		if !known[tok] {
 			break
 		}
 		names = append(names, tok)
 	}
-	return names
+	return names, strings.Join(fields[i:], " "), true
 }
 
 // --- shared AST helpers used by several analyzers ---
