@@ -69,16 +69,18 @@ cover:
 # End-to-end smoke of the observability surfaces: boots the daemon stack
 # with -admin semantics and scrapes /metrics, /healthz and a query trace
 # over real HTTP, then boots two nodes plus the fleet observatory and
-# scrapes the merged fleet snapshot the same way.
+# scrapes the merged fleet snapshot, /fleet/health (rules armed, both
+# members up, nothing firing) and /fleet/dashboard the same way.
 adminsmoke:
 	$(GO) test -race -count=1 -run 'TestAdminEndpointSmoke' ./cmd/bestpeer/
 	$(GO) test -race -count=1 -run 'TestFleetObservatorySmoke' ./cmd/bpobs/
 
 # Machine-readable benchmark report: every simulated figure (including
-# the flood-vs-qroute traffic comparison and the churn-at-scale run)
-# plus the reconfiguration-convergence timelines, as committed in
-# BENCH_PR6.json and uploaded as a CI artifact.
-BENCHJSON ?= BENCH_PR6.json
+# the flood-vs-qroute traffic comparison and the churn-at-scale run
+# with its health/alert timeline) plus the reconfiguration-convergence
+# timelines, as committed in BENCH_PR9.json and uploaded as a CI
+# artifact.
+BENCHJSON ?= BENCH_PR9.json
 bench:
 	$(GO) run ./cmd/bpbench -fig all -json $(BENCHJSON)
 

@@ -1,30 +1,41 @@
 // Command bpobs runs the BestPeer fleet observatory: it scrapes the
 // admin endpoints of a set of member nodes (their /metrics.json,
 // /healthz, /peers and /events journals), merges the event streams into
-// a fleet-wide snapshot, and serves the result:
+// a fleet-wide snapshot, folds each scrape through the fleet health
+// engine, and serves the result:
 //
 //	/fleet              the full snapshot (per-node views + merged events)
 //	/fleet/topology     the overlay graph, node -> direct peers
 //	/fleet/convergence  the reconfiguration-convergence timeline
 //	/fleet/trace/<id>   cross-node trace assembly for one query
+//	/fleet/timeseries   per-member derived signal history
+//	/fleet/health       rule set, latest signals and firing alerts
+//	/fleet/alerts       firing alerts plus the alert event journal
+//	/fleet/dashboard    plain-text dashboard with sparklines
 //
 // Event cursors persist across scrapes, so each poll transfers only new
 // events; journal overflow on a member shows up as a per-member missed
 // count, never as silently absent history.
 //
+// The background scrape loop phase-shifts each member by a seeded hash
+// of its address, so a large fleet is polled as a spread-out stream
+// rather than a thundering herd at every interval tick.
+//
 // Usage:
 //
 //	bpobs -members 127.0.0.1:9090,127.0.0.1:9091 [-serve :8099]
-//	      [-interval 5s] [-once]
+//	      [-interval 5s] [-seed 1] [-once]
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"hash/fnv"
 	"log"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -35,6 +46,7 @@ func main() {
 	members := flag.String("members", "", "comma-separated member admin addresses to scrape")
 	serve := flag.String("serve", "", "serve the observatory on this address; ':port' binds loopback only; empty picks a loopback port")
 	interval := flag.Duration("interval", 0, "background scrape interval (0 = scrape only on request)")
+	seed := flag.Int64("seed", 1, "seed for the per-member scrape phase jitter")
 	once := flag.Bool("once", false, "scrape once, print the fleet snapshot as JSON, and exit")
 	flag.Parse()
 
@@ -66,14 +78,19 @@ func main() {
 	log.Printf("bpobs: observing %d members on http://%s/fleet", len(addrs), srv.Addr())
 
 	stop := make(chan struct{})
+	var loops sync.WaitGroup
 	if *interval > 0 {
-		go scrapeLoop(col, *interval, stop)
+		for _, addr := range addrs {
+			loops.Add(1)
+			go scrapeMemberLoop(col, addr, *interval, *seed, stop, &loops)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stop)
+	loops.Wait()
 	snap := col.Snapshot()
 	log.Printf("bpobs: shutting down with %d events collected, %d missed", len(snap.Events), snap.Missed)
 	if err := srv.Close(); err != nil {
@@ -81,16 +98,42 @@ func main() {
 	}
 }
 
-// scrapeLoop polls the fleet so the journal cursors keep pace with the
-// members' ring buffers even when nobody is hitting the HTTP endpoints.
-func scrapeLoop(col *observatory.Collector, every time.Duration, stop <-chan struct{}) {
+// memberPhase is the deterministic scrape phase offset for one member:
+// a seeded FNV-1a hash of the address folded into [0, interval). Same
+// seed and members, same schedule — and distinct members land spread
+// across the interval instead of on the tick.
+func memberPhase(addr string, seed int64, interval time.Duration) time.Duration {
+	h := fnv.New64a()
+	var sb [8]byte
+	for i := range sb {
+		sb[i] = byte(seed >> (8 * i))
+	}
+	_, _ = h.Write(sb[:])        // hash.Hash.Write never errors
+	_, _ = h.Write([]byte(addr)) // hash.Hash.Write never errors
+	return time.Duration(h.Sum64() % uint64(interval))
+}
+
+// scrapeMemberLoop polls one member at the interval, phase-shifted by
+// the member's jitter offset, so the fleet's scrapes form a spread
+// stream. Per-member loops also keep one slow member from delaying
+// everyone else's journal cursors.
+func scrapeMemberLoop(col *observatory.Collector, addr string, every time.Duration, seed int64, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
 	defer func() { recover() }() // a crashed poller must not take the observatory down
+	phase := time.NewTimer(memberPhase(addr, seed, every))
+	defer phase.Stop()
+	select {
+	case <-phase.C:
+	case <-stop:
+		return
+	}
+	col.ScrapeOne(addr)
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
 		select {
 		case <-tick.C:
-			col.Scrape()
+			col.ScrapeOne(addr)
 		case <-stop:
 			return
 		}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -105,6 +106,66 @@ func TestFleetObservatorySmoke(t *testing.T) {
 	getJSON(t, "http://"+srv.Addr()+"/fleet/trace/"+res.ID.String(), &trace)
 	if trace.Base != nodes[0].Addr() || len(trace.Spans) == 0 {
 		t.Fatalf("/fleet/trace = %+v, want spans rooted at %s", trace, nodes[0].Addr())
+	}
+
+	// The health pipeline rides the same scrapes: both members report
+	// up with the stock rules armed and nothing firing.
+	var hv observatory.HealthView
+	getJSON(t, "http://"+srv.Addr()+"/fleet/health", &hv)
+	if len(hv.Members) != 2 || len(hv.Rules) == 0 {
+		t.Fatalf("/fleet/health = %+v, want 2 members with rules", hv)
+	}
+	for admin, mh := range hv.Members {
+		if mh.Signals[observatory.SigUp] != 1 {
+			t.Fatalf("member %s signals = %+v, want up=1", admin, mh.Signals)
+		}
+	}
+	if len(hv.Active) != 0 {
+		t.Fatalf("/fleet/health active = %+v, want none firing", hv.Active)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/fleet/dashboard")
+	if err != nil {
+		t.Fatalf("GET /fleet/dashboard: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read dashboard: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet/dashboard status %d: %s", resp.StatusCode, body)
+	}
+	text := string(body)
+	for _, want := range []string{"fleet health", "none firing", "rules"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMemberPhaseJitter pins the scrape-phase contract: deterministic
+// for a fixed seed, inside [0, interval), and actually spread (a herd
+// of members must not share one instant).
+func TestMemberPhaseJitter(t *testing.T) {
+	const interval = 5 * time.Second
+	seen := make(map[time.Duration]int)
+	for i := 0; i < 64; i++ {
+		addr := fmt.Sprintf("10.0.0.%d:9090", i)
+		p := memberPhase(addr, 42, interval)
+		if p != memberPhase(addr, 42, interval) {
+			t.Fatalf("phase for %s is not deterministic", addr)
+		}
+		if p < 0 || p >= interval {
+			t.Fatalf("phase for %s = %v, want [0, %v)", addr, p, interval)
+		}
+		seen[p]++
+	}
+	if len(seen) < 32 {
+		t.Fatalf("64 members landed on only %d distinct phases", len(seen))
+	}
+	if memberPhase("10.0.0.1:9090", 1, interval) == memberPhase("10.0.0.1:9090", 2, interval) {
+		t.Fatal("different seeds produced the same phase")
 	}
 }
 

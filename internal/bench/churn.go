@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"bestpeer/internal/netsim"
+	"bestpeer/internal/obs"
+	"bestpeer/internal/observatory"
 	"bestpeer/internal/qroute"
 	"bestpeer/internal/workload"
 )
@@ -117,6 +119,61 @@ type ChurnSchemeRun struct {
 	// CacheHits / CacheLookups total the bases' answer-cache traffic.
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheLookups uint64 `json:"cache_lookups"`
+	// Health is the run's derived-signal timeline and alert transitions,
+	// recorded through the observatory health engine at simulated time.
+	Health *HealthTimeline `json:"health,omitempty"`
+}
+
+// HealthPoint is one health-series sample on the simulated clock.
+type HealthPoint struct {
+	TMS float64 `json:"t_ms"`
+	V   float64 `json:"v"`
+}
+
+// HealthAlert is one alert transition on the simulated clock.
+type HealthAlert struct {
+	TMS       float64 `json:"t_ms"`
+	Rule      string  `json:"rule"`
+	Series    string  `json:"series"`
+	Firing    bool    `json:"firing"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+// HealthTimeline is one scheme's full health record: every derived
+// series plus the rule transitions, straight from the observatory
+// pipeline the live fleet uses.
+type HealthTimeline struct {
+	Series map[string][]HealthPoint `json:"series"`
+	Alerts []HealthAlert            `json:"alerts"`
+}
+
+// AlertsFor returns the timeline's transitions for one rule, in order.
+func (tl *HealthTimeline) AlertsFor(rule string) []HealthAlert {
+	var out []HealthAlert
+	for _, a := range tl.Alerts {
+		if a.Rule == rule {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// churnHealthRules scales the bench rule set from the experiment's own
+// parameters. The repair-surge threshold is anchored to the steady
+// churn repair rate — nodes/MeanSession departures per second, each
+// costing up to Degree backfilled edges — so only the correlated burst
+// can cross it.
+func churnHealthRules(p ChurnParams) []observatory.Rule {
+	steady := float64(p.Nodes) / p.MeanSession.Seconds() * float64(p.Degree)
+	return []observatory.Rule{
+		{Name: "recall-floor", Series: "recall", Below: true,
+			Fire: 0.93, Clear: 0.95},
+		{Name: "repair-surge", Series: observatory.SigRepairAddedPerS,
+			Fire: 1.5 * steady, Clear: steady, ClearHold: p.SampleEvery},
+		{Name: "cache-hit-collapse", Series: observatory.SigCacheHitRate, Below: true,
+			Fire: 0.05, Clear: 0.15, Hold: 2 * p.SampleEvery},
+	}
 }
 
 // ChurnResult is the churn experiment's machine-readable output.
@@ -258,6 +315,14 @@ type churnModel struct {
 	queries    []*churnQuery
 	probeRound int32
 	run        ChurnSchemeRun
+
+	// health folds each closed round into the observatory rule engine on
+	// the simulated clock; prev* carry the last round's cumulative
+	// counters so the signals are per-window rates, not running totals.
+	health           *observatory.Health
+	prevRepairs      uint64
+	prevCacheHits    uint64
+	prevCacheLookups uint64
 }
 
 func (m *churnModel) engineOf(node int32) *qroute.Engine {
@@ -319,6 +384,7 @@ func newChurnModel(p ChurnParams, scheme string, seed int64) *churnModel {
 		repair: scheme != "bps",
 		sim:    netsim.NewSimSeeded(seed),
 		reg:    newAliveRegistry(p.Nodes),
+		health: observatory.NewHealth(churnHealthRules(p), 256, 1024),
 	}
 	m.mesh = netsim.NewMesh(m.sim, p.Nodes, p.Latency)
 	m.mesh.SetHandler(m.handle)
@@ -691,6 +757,31 @@ func (m *churnModel) closeRound(round int, qs []*churnQuery, keys []string, aliv
 		sample.CacheHitRate = float64(m.run.CacheHits) / float64(m.run.CacheLookups)
 	}
 	m.run.Samples = append(m.run.Samples, sample)
+	m.ingestHealth(sample, nq, now)
+}
+
+// ingestHealth folds one closed round into the health engine as
+// per-window signals: recall only when the round actually measured
+// queries, cache hit rate only when the window had lookups (a quiet
+// window is not a collapse), and the repair rate as this window's edge
+// backfills over the round cadence.
+func (m *churnModel) ingestHealth(sample ChurnSample, nq int, now time.Time) {
+	window := m.p.SampleEvery.Seconds()
+	signals := map[string]float64{
+		"alive":                        float64(sample.Alive) / float64(m.p.Nodes),
+		observatory.SigRepairAddedPerS: float64(m.run.Repairs-m.prevRepairs) / window,
+	}
+	if nq > 0 {
+		signals["recall"] = sample.Recall
+	}
+	if lookups := m.run.CacheLookups - m.prevCacheLookups; lookups > 0 {
+		signals[observatory.SigCacheHitRate] =
+			float64(m.run.CacheHits-m.prevCacheHits) / float64(lookups)
+	}
+	m.prevRepairs = m.run.Repairs
+	m.prevCacheHits = m.run.CacheHits
+	m.prevCacheLookups = m.run.CacheLookups
+	m.health.Ingest(m.scheme, now, signals, "")
 }
 
 // feedEngine pushes one closed query's evidence into its base's engine.
@@ -751,8 +842,35 @@ func runChurnScheme(p ChurnParams, scheme string, seed int64) ChurnSchemeRun {
 	m.sim.Run()
 
 	m.run.Msgs = m.mesh.Stats().Sent
+	m.run.Health = buildHealthTimeline(m.health, scheme)
 	finishChurnRun(&m.run, p)
 	return m.run
+}
+
+// buildHealthTimeline folds the run's health engine back onto the
+// simulated clock: every derived series the engine retained plus the
+// alert transitions from its journal, timestamps relative to sim zero.
+func buildHealthTimeline(h *observatory.Health, member string) *HealthTimeline {
+	epoch := time.Unix(0, 0).UTC()
+	tl := &HealthTimeline{Series: make(map[string][]HealthPoint)}
+	ts := h.Series()
+	for _, name := range ts.Names(member) {
+		for _, p := range ts.Points(member, name) {
+			tl.Series[name] = append(tl.Series[name],
+				HealthPoint{TMS: ms(p.At.Sub(epoch)), V: p.V})
+		}
+	}
+	events, _, _ := h.Journal().Since(0, 0)
+	for _, e := range events {
+		if e.Node != member {
+			continue
+		}
+		tl.Alerts = append(tl.Alerts, HealthAlert{
+			TMS: ms(e.At.Sub(epoch)), Rule: e.Reason, Series: e.Strategy,
+			Firing: e.Kind == obs.EvAlertRaised, Value: e.Value, Threshold: e.Threshold,
+		})
+	}
+	return tl
 }
 
 // finishChurnRun derives the summary statistics from the samples.

@@ -68,6 +68,61 @@ func TestChurnSchemes(t *testing.T) {
 		t.Errorf("bps post-burst min %.3f better than repaired flood %.3f",
 			bps.PostBurstMinRecall, flood.PostBurstMinRecall)
 	}
+
+	// The health engine rode the whole run. Every round produced a recall
+	// and repair-rate sample on the simulated clock.
+	for _, r := range res.Schemes {
+		if r.Health == nil {
+			t.Fatalf("%s has no health timeline", r.Scheme)
+		}
+		for _, series := range []string{"recall", "repair_added_per_s", "alive"} {
+			if n := len(r.Health.Series[series]); n != len(r.Samples) {
+				t.Errorf("%s health series %s has %d points, want %d",
+					r.Scheme, series, n, len(r.Samples))
+			}
+		}
+		// A healthy cache never collapses; the alert must not misfire on
+		// cold or quiet windows (bps and flood have no cache at all).
+		if hits := r.Health.AlertsFor("cache-hit-collapse"); len(hits) != 0 {
+			t.Errorf("%s cache-hit-collapse misfired: %+v", r.Scheme, hits)
+		}
+	}
+	// The burst shows up as alerts with full provenance, then clears:
+	// recall-floor on bpr dips after the burst and recovers (the alert
+	// view of RepairConvergenceRounds)...
+	floor := bpr.Health.AlertsFor("recall-floor")
+	if len(floor) < 2 || !floor[0].Firing || floor[0].TMS <= res.BurstAtMS {
+		t.Fatalf("bpr recall-floor should first fire after the burst: %+v", floor)
+	}
+	if last := floor[len(floor)-1]; last.Firing {
+		t.Errorf("bpr recall-floor never cleared: %+v", floor)
+	}
+	if floor[0].Value >= floor[0].Threshold || floor[0].Series != "recall" {
+		t.Errorf("recall-floor raise lacks provenance: %+v", floor[0])
+	}
+	// ...repair-surge catches the burst's backfill spike on the schemes
+	// that repair, and clears once the overlay is rebuilt...
+	for _, r := range []*ChurnSchemeRun{bpr, flood} {
+		surge := r.Health.AlertsFor("repair-surge")
+		burstRaise := false
+		for _, a := range surge {
+			if a.Firing && a.TMS > res.BurstAtMS {
+				burstRaise = true
+			}
+		}
+		if !burstRaise {
+			t.Errorf("%s repair-surge missed the burst: %+v", r.Scheme, surge)
+		}
+		if len(surge) == 0 || surge[len(surge)-1].Firing {
+			t.Errorf("%s repair-surge never cleared: %+v", r.Scheme, surge)
+		}
+	}
+	// ...while the static scheme repairs nothing and so alerts nothing:
+	// erosion is invisible to a repair-rate signal, which is exactly the
+	// operational argument for running the reconfigurable scheme.
+	if len(bps.Health.AlertsFor("repair-surge")) != 0 {
+		t.Errorf("bps raised repair-surge without a repair loop: %+v", bps.Health.Alerts)
+	}
 }
 
 func TestChurnDeterministic(t *testing.T) {
@@ -85,6 +140,16 @@ func TestChurnDeterministic(t *testing.T) {
 		for j := range ra.Samples {
 			if ra.Samples[j] != rb.Samples[j] {
 				t.Fatalf("%s sample %d differs: %+v vs %+v", ra.Scheme, j, ra.Samples[j], rb.Samples[j])
+			}
+		}
+		// The health timeline is part of the reproducible record.
+		if len(ra.Health.Alerts) != len(rb.Health.Alerts) {
+			t.Fatalf("%s alert count differs: %+v vs %+v", ra.Scheme, ra.Health.Alerts, rb.Health.Alerts)
+		}
+		for j := range ra.Health.Alerts {
+			if ra.Health.Alerts[j] != rb.Health.Alerts[j] {
+				t.Fatalf("%s alert %d differs: %+v vs %+v",
+					ra.Scheme, j, ra.Health.Alerts[j], rb.Health.Alerts[j])
 			}
 		}
 	}

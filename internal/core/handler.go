@@ -245,7 +245,7 @@ func (n *Node) executeAgent(env *wire.Envelope, packet *agent.Packet, arrived ti
 		}
 		start := time.Now()
 		results, execErr = ag.Execute(ctx)
-		n.m.execSeconds.ObserveDuration(time.Since(start))
+		n.m.execSeconds.ObserveDurationExemplar(time.Since(start), env.ID.String())
 		n.m.agentsExecuted.Inc()
 		if span != nil {
 			span.ExecNS = time.Since(start).Nanoseconds()
@@ -323,7 +323,7 @@ func (n *Node) handleResult(env *wire.Envelope, hint bool) {
 	if !ok {
 		return // late answer for a finished query
 	}
-	n.m.answerHops.Observe(float64(batch.Hops))
+	n.m.answerHops.ObserveExemplar(float64(batch.Hops), env.ID.String())
 	n.journal.Append(obs.Event{
 		Kind:  obs.EvAgentAnswered,
 		Query: env.ID.String(),

@@ -96,6 +96,15 @@ const (
 	// EvMemberDeregistered: a LIGLO member announced a graceful leave and
 	// was marked offline immediately, without waiting for a probe sweep.
 	EvMemberDeregistered EventKind = "member-deregistered"
+	// EvAlertRaised: a fleet health rule crossed its firing threshold and
+	// held past its minimum-hold duration. Node is the member, Reason the
+	// rule name, Strategy the derived series, Value/Threshold the breach,
+	// Query the exemplar trace ID when one was available.
+	EvAlertRaised EventKind = "alert-raised"
+	// EvAlertCleared: a firing health rule stayed on the clear side of
+	// its hysteresis band long enough to clear. Same provenance fields as
+	// EvAlertRaised.
+	EvAlertCleared EventKind = "alert-cleared"
 )
 
 // Kinds is the complete event-kind registry; the eventdrift analyzer
@@ -125,6 +134,8 @@ var Kinds = []EventKind{
 	EvDepartReceived,
 	EvRepair,
 	EvMemberDeregistered,
+	EvAlertRaised,
+	EvAlertCleared,
 }
 
 // PeerScore is one candidate's line in a reconfiguration decision: the
@@ -154,6 +165,10 @@ type Event struct {
 	Count    int         `json:"count,omitempty"`
 	K        int         `json:"k,omitempty"`
 	Scores   []PeerScore `json:"scores,omitempty"`
+	// Value and Threshold carry the observed signal level and the rule
+	// bound for alert events.
+	Value     float64 `json:"value,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
 }
 
 // DefaultJournalCapacity is the ring size when NewJournal gets zero.

@@ -72,11 +72,18 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // upper bounds in ascending order; an implicit +Inf bucket catches the
 // rest. Observe is lock-free: one atomic add on the bucket, one on the
 // count, and a CAS loop on the float sum.
+//
+// Each bucket additionally retains one exemplar — the identifier passed
+// to the most recent ObserveExemplar that landed in it — so a scrape of
+// a fat-tail bucket links directly to the query or trace that put it
+// there. Exemplars attach to their native bucket (the one the
+// observation fell into), not the cumulative counts.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1, last is +Inf
+	exemplars []atomic.Pointer[string]
+	count     atomic.Uint64
+	sum       atomic.Uint64 // float64 bits
 }
 
 // Observe records one value.
@@ -93,8 +100,26 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and retains exemplar (a query or
+// trace identifier) on the bucket the value landed in, replacing that
+// bucket's previous exemplar. An empty exemplar observes without
+// touching the retained one.
+func (h *Histogram) ObserveExemplar(v float64, exemplar string) {
+	if exemplar != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&exemplar)
+	}
+	h.Observe(v)
+}
+
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationExemplar records a duration in seconds with an
+// exemplar identifier retained on the landing bucket.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, exemplar string) {
+	h.ObserveExemplar(d.Seconds(), exemplar)
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -207,7 +232,9 @@ func (r *Registry) getOrCreate(name, help string, typ metricType, buckets []floa
 		case histogramType:
 			b := append([]float64(nil), buckets...)
 			sort.Float64s(b)
-			m.h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+			m.h = &Histogram{bounds: b,
+				counts:    make([]atomic.Uint64, len(b)+1),
+				exemplars: make([]atomic.Pointer[string], len(b)+1)}
 		}
 		f.byKey[key] = m
 		f.order = append(f.order, key)
@@ -245,17 +272,22 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 
 // --- exposition ---
 
-// BucketSnapshot is one cumulative histogram bucket.
+// BucketSnapshot is one cumulative histogram bucket. Exemplar is the
+// query/trace ID most recently observed into this bucket natively (not
+// cumulatively) — it links a fat-tail bucket to /queries/<id> and the
+// observatory's /fleet/trace/<id>.
 type BucketSnapshot struct {
 	UpperBound float64 `json:"-"`
 	Count      uint64  `json:"count"`
+	Exemplar   string  `json:"exemplar,omitempty"`
 }
 
 // bucketJSON is the wire shape of a bucket: the upper bound travels as a
 // string because JSON has no encoding for the +Inf bucket.
 type bucketJSON struct {
-	LE    string `json:"le"`
-	Count uint64 `json:"count"`
+	LE       string `json:"le"`
+	Count    uint64 `json:"count"`
+	Exemplar string `json:"exemplar,omitempty"`
 }
 
 // MarshalJSON renders the bound Prometheus-style ("+Inf" for the last
@@ -265,7 +297,7 @@ func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
 	if !math.IsInf(b.UpperBound, 1) {
 		le = formatFloat(b.UpperBound)
 	}
-	return json.Marshal(bucketJSON{LE: le, Count: b.Count})
+	return json.Marshal(bucketJSON{LE: le, Count: b.Count, Exemplar: b.Exemplar})
 }
 
 // UnmarshalJSON parses what MarshalJSON produces.
@@ -275,6 +307,7 @@ func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	b.Count = bj.Count
+	b.Exemplar = bj.Exemplar
 	if bj.LE == "+Inf" {
 		b.UpperBound = math.Inf(1)
 		return nil
@@ -330,6 +363,109 @@ func (s *Snapshot) Value(name string) float64 {
 	return 0
 }
 
+// Total sums the named family's instances across all label sets —
+// the fleet-level view of a labeled counter (e.g. cache hits across
+// where=base/serve/negative). Histograms contribute their Count.
+func (s *Snapshot) Total(name string) float64 {
+	f := s.Family(name)
+	if f == nil {
+		return 0
+	}
+	total := 0.0
+	for _, m := range f.Metrics {
+		if len(m.Buckets) > 0 {
+			total += float64(m.Count)
+			continue
+		}
+		total += m.Value
+	}
+	return total
+}
+
+// TailExemplar returns the exemplar retained in the highest non-empty
+// bucket of the named histogram family — the trace ID behind the
+// slowest recent observation, the natural "what should I look at"
+// pointer for a latency alert. Empty when the family is absent, not a
+// histogram, or has recorded no exemplars.
+func (s *Snapshot) TailExemplar(name string) string {
+	f := s.Family(name)
+	if f == nil {
+		return ""
+	}
+	for _, m := range f.Metrics {
+		for i := len(m.Buckets) - 1; i >= 0; i-- {
+			if m.Buckets[i].Exemplar != "" {
+				return m.Buckets[i].Exemplar
+			}
+		}
+	}
+	return ""
+}
+
+// DeltaSince returns a snapshot whose counters and histogram
+// counts/sums/buckets hold the increase since prev, so a scraper can
+// compute rates without keeping its own per-series bookkeeping. Gauges
+// (and gauge funcs) pass through as levels — a delta of a level is
+// meaningless. An instance missing from prev, or one whose count went
+// backwards (process restart), deltas from zero. Exemplars ride
+// through unchanged from the current snapshot: they describe recent
+// observations, which is exactly what a delta window covers.
+func (s *Snapshot) DeltaSince(prev *Snapshot) *Snapshot {
+	out := &Snapshot{Families: make([]FamilySnapshot, 0, len(s.Families))}
+	for _, f := range s.Families {
+		var pf *FamilySnapshot
+		if prev != nil {
+			pf = prev.Family(f.Name)
+		}
+		df := FamilySnapshot{Name: f.Name, Help: f.Help, Type: f.Type,
+			Metrics: make([]MetricSnapshot, 0, len(f.Metrics))}
+		for _, m := range f.Metrics {
+			var pm *MetricSnapshot
+			if pf != nil {
+				key := labelKey(m.Labels)
+				for i := range pf.Metrics {
+					if labelKey(pf.Metrics[i].Labels) == key {
+						pm = &pf.Metrics[i]
+						break
+					}
+				}
+			}
+			dm := m
+			dm.Buckets = append([]BucketSnapshot(nil), m.Buckets...)
+			switch f.Type {
+			case "counter":
+				if pm != nil && pm.Value <= m.Value {
+					dm.Value = m.Value - pm.Value
+				}
+			case "histogram":
+				if pm != nil && pm.Count <= m.Count {
+					dm.Count = m.Count - pm.Count
+					dm.Sum = m.Sum - pm.Sum
+					if len(pm.Buckets) == len(m.Buckets) {
+						for i := range dm.Buckets {
+							if pm.Buckets[i].Count <= dm.Buckets[i].Count {
+								dm.Buckets[i].Count -= pm.Buckets[i].Count
+							}
+						}
+					}
+				}
+			}
+			df.Metrics = append(df.Metrics, dm)
+		}
+		out.Families = append(out.Families, df)
+	}
+	return out
+}
+
+// loadExemplar dereferences an atomically stored exemplar, empty when
+// none was ever observed.
+func loadExemplar(p *atomic.Pointer[string]) string {
+	if s := p.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
 // Snapshot freezes the registry. Families are ordered by name and
 // instances by label key, so output is deterministic.
 func (r *Registry) Snapshot() *Snapshot {
@@ -359,10 +495,13 @@ func (r *Registry) Snapshot() *Snapshot {
 				cum := uint64(0)
 				for i, bound := range m.h.bounds {
 					cum += m.h.counts[i].Load()
-					ms.Buckets = append(ms.Buckets, BucketSnapshot{UpperBound: bound, Count: cum})
+					ms.Buckets = append(ms.Buckets, BucketSnapshot{
+						UpperBound: bound, Count: cum, Exemplar: loadExemplar(&m.h.exemplars[i])})
 				}
 				cum += m.h.counts[len(m.h.bounds)].Load()
-				ms.Buckets = append(ms.Buckets, BucketSnapshot{UpperBound: math.Inf(1), Count: cum})
+				ms.Buckets = append(ms.Buckets, BucketSnapshot{
+					UpperBound: math.Inf(1), Count: cum,
+					Exemplar: loadExemplar(&m.h.exemplars[len(m.h.bounds)])})
 			}
 			fs.Metrics = append(fs.Metrics, ms)
 		}

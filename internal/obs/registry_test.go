@@ -212,3 +212,95 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("counter = %v, want 8000", got)
 	}
 }
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_seconds", "exemplar test", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "fast-1")
+	h.ObserveExemplar(0.06, "fast-2") // replaces fast-1 in the same bucket
+	h.ObserveExemplar(5, "slow-1")    // lands in +Inf
+	h.ObserveExemplar(0.5, "")        // empty id: observe only
+	snap := r.Snapshot()
+	buckets := snap.Family("ex_seconds").Metrics[0].Buckets
+	if buckets[0].Exemplar != "fast-2" {
+		t.Fatalf("bucket 0 exemplar = %q, want fast-2", buckets[0].Exemplar)
+	}
+	if buckets[1].Exemplar != "" {
+		t.Fatalf("bucket 1 exemplar = %q, want empty (observed with no id)", buckets[1].Exemplar)
+	}
+	if buckets[2].Exemplar != "slow-1" {
+		t.Fatalf("+Inf exemplar = %q, want slow-1", buckets[2].Exemplar)
+	}
+	// The tail exemplar is the slowest recent observation's ID.
+	if got := snap.TailExemplar("ex_seconds"); got != "slow-1" {
+		t.Fatalf("TailExemplar = %q, want slow-1", got)
+	}
+	if got := snap.TailExemplar("missing"); got != "" {
+		t.Fatalf("TailExemplar(missing) = %q", got)
+	}
+	// Exemplars survive the JSON round trip.
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.TailExemplar("ex_seconds"); got != "slow-1" {
+		t.Fatalf("round-tripped TailExemplar = %q, want slow-1", got)
+	}
+}
+
+func TestSnapshotDeltaSince(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("d_total", "delta counter")
+	g := r.Gauge("d_depth", "delta gauge")
+	h := r.Histogram("d_seconds", "delta histogram", []float64{1})
+	lc := r.Counter("d_labeled_total", "labeled", L("where", "base"))
+	c.Add(10)
+	g.Set(4)
+	h.Observe(0.5)
+	lc.Add(3)
+	prev := r.Snapshot()
+	c.Add(5)
+	g.Set(9)
+	h.ObserveExemplar(2, "tail-q")
+	lc.Add(2)
+	r.Counter("d_labeled_total", "labeled", L("where", "serve")).Add(7)
+	cur := r.Snapshot()
+
+	d := cur.DeltaSince(prev)
+	if got := d.Value("d_total"); got != 5 {
+		t.Fatalf("counter delta = %v, want 5", got)
+	}
+	// Gauges pass through as levels, not deltas.
+	if got := d.Value("d_depth"); got != 9 {
+		t.Fatalf("gauge level = %v, want 9", got)
+	}
+	// New labeled instance deltas from zero; Total sums across labels.
+	if got := d.Total("d_labeled_total"); got != 9 {
+		t.Fatalf("labeled delta total = %v, want 2+7", got)
+	}
+	hm := d.Family("d_seconds").Metrics[0]
+	if hm.Count != 1 || hm.Sum != 2 {
+		t.Fatalf("histogram delta count=%d sum=%v, want 1/2", hm.Count, hm.Sum)
+	}
+	if hm.Buckets[0].Count != 0 || hm.Buckets[1].Count != 1 {
+		t.Fatalf("histogram bucket deltas = %+v", hm.Buckets)
+	}
+	// Exemplars ride through from the current snapshot.
+	if got := d.TailExemplar("d_seconds"); got != "tail-q" {
+		t.Fatalf("delta exemplar = %q, want tail-q", got)
+	}
+	// A nil prev (first scrape) deltas everything from zero.
+	if got := cur.DeltaSince(nil).Value("d_total"); got != 15 {
+		t.Fatalf("delta from nil = %v, want 15", got)
+	}
+	// A counter that went backwards (restart) deltas from zero too.
+	r2 := NewRegistry()
+	r2.Counter("d_total", "delta counter").Add(2)
+	if got := r2.Snapshot().DeltaSince(prev).Value("d_total"); got != 2 {
+		t.Fatalf("restart delta = %v, want 2", got)
+	}
+}

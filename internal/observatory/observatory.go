@@ -47,6 +47,9 @@ type NodeView struct {
 	// the ring evicted them first (accumulated across scrapes).
 	EventsTotal  uint64 `json:"events_total"`
 	EventsMissed uint64 `json:"events_missed"`
+	// EventsEvicted is the member journal's lifetime eviction counter —
+	// the raw material for the journal-overflow health signal.
+	EventsEvicted uint64 `json:"events_evicted"`
 	// Err is the last scrape error for this member, empty when healthy.
 	Err string `json:"err,omitempty"`
 }
@@ -101,28 +104,35 @@ type FleetTrace struct {
 // journals. Safe for concurrent use.
 type Collector struct {
 	client *http.Client
+	health *Health
 
 	mu      sync.Mutex
 	members []string
 	cursors map[string]uint64
 	views   map[string]*NodeView
+	samples map[string]MemberSample
 	events  []obs.Event
 	missed  uint64
 }
 
 // NewCollector creates a collector over the given member admin
-// addresses (host:port).
+// addresses (host:port), with the stock health rule set armed.
 func NewCollector(members ...string) *Collector {
 	c := &Collector{
 		client:  &http.Client{Timeout: 5 * time.Second},
+		health:  NewHealth(DefaultRules(), 0, 0),
 		cursors: make(map[string]uint64),
 		views:   make(map[string]*NodeView),
+		samples: make(map[string]MemberSample),
 	}
 	for _, m := range members {
 		c.AddMember(m)
 	}
 	return c
 }
+
+// Health returns the collector's fleet health engine.
+func (c *Collector) Health() *Health { return c.health }
 
 // AddMember registers another member admin endpoint.
 func (c *Collector) AddMember(addr string) {
@@ -179,6 +189,7 @@ func (c *Collector) scrapeMember(addr string, cursor uint64) (*NodeView, []obs.E
 		next = page.Next
 		view.Node = page.Node
 		view.EventsTotal = page.Total
+		view.EventsEvicted = page.Evicted
 		if len(page.Events) < maxEventsPerPage {
 			break
 		}
@@ -208,32 +219,63 @@ func (c *Collector) scrapeMember(addr string, cursor uint64) (*NodeView, []obs.E
 // events; ring overflow between scrapes lands in Missed, never silently.
 // Unreachable members keep their last view with Err set.
 func (c *Collector) Scrape() *FleetSnapshot {
-	members := c.Members()
-	for _, addr := range members {
-		c.mu.Lock()
-		cursor := c.cursors[addr]
-		prev := c.views[addr]
-		c.mu.Unlock()
-
-		view, events, missed, next := c.scrapeMember(addr, cursor)
-		c.mu.Lock()
-		if view.Err != "" && prev != nil {
-			// Keep the last good view but surface the scrape error and
-			// the loss already accumulated.
-			prev.Err = view.Err
-			view = prev
-		}
-		if prev != nil {
-			view.EventsMissed = prev.EventsMissed
-		}
-		view.EventsMissed += missed
-		c.views[addr] = view
-		c.cursors[addr] = next
-		c.events = append(c.events, events...)
-		c.missed += missed
-		c.mu.Unlock()
+	for _, addr := range c.Members() {
+		c.ScrapeOne(addr)
 	}
 	return c.Snapshot()
+}
+
+// ScrapeOne polls a single member, merges its view into the fleet
+// state, and feeds the scrape through the health engine — derived
+// signals keyed by the member's admin address, which is stable even
+// while the overlay address is still unknown. The jittered bpobs loop
+// calls this per member so a large fleet is not scraped as one herd.
+func (c *Collector) ScrapeOne(addr string) {
+	c.mu.Lock()
+	cursor := c.cursors[addr]
+	prev := c.views[addr]
+	prevSample := c.samples[addr]
+	c.mu.Unlock()
+
+	view, events, missed, next := c.scrapeMember(addr, cursor)
+	up := view.Err == ""
+
+	cur := MemberSample{
+		At: time.Now(), Up: up,
+		Metrics: view.Metrics,
+		Events:  events,
+		Evicted: view.EventsEvicted,
+	}
+	exemplar := ""
+	if cur.Metrics != nil {
+		exemplar = cur.Metrics.TailExemplar("bestpeer_node_agent_exec_seconds")
+		if exemplar == "" {
+			exemplar = cur.Metrics.TailExemplar("bestpeer_node_answer_hops")
+		}
+	}
+	c.health.Ingest(addr, cur.At, DeriveSignals(prevSample, cur), exemplar)
+
+	c.mu.Lock()
+	if view.Err != "" && prev != nil {
+		// Keep the last good view but surface the scrape error and
+		// the loss already accumulated.
+		prev.Err = view.Err
+		view = prev
+	}
+	if prev != nil {
+		view.EventsMissed = prev.EventsMissed
+	}
+	view.EventsMissed += missed
+	c.views[addr] = view
+	c.cursors[addr] = next
+	c.events = append(c.events, events...)
+	c.missed += missed
+	if up {
+		// A failed scrape keeps the previous sample so the recovery
+		// window deltas from the last good metrics, not from nothing.
+		c.samples[addr] = cur
+	}
+	c.mu.Unlock()
 }
 
 // Snapshot assembles the current fleet view from accumulated state
