@@ -58,6 +58,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME) ./internal/agent/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeDepart -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeObject -fuzztime $(FUZZTIME) ./internal/storm/
+	$(GO) test -run '^$$' -fuzz FuzzChordCodecs -fuzztime $(FUZZTIME) ./internal/chord/
+	$(GO) test -run '^$$' -fuzz FuzzRingCodecs -fuzztime $(FUZZTIME) ./internal/liglo/
 
 # Coverage profile across every package, suitable for `go tool cover`
 # and for upload as a CI artifact.
@@ -74,6 +76,7 @@ cover:
 adminsmoke:
 	$(GO) test -race -count=1 -run 'TestAdminEndpointSmoke' ./cmd/bestpeer/
 	$(GO) test -race -count=1 -run 'TestFleetObservatorySmoke' ./cmd/bpobs/
+	$(GO) test -race -count=1 -run 'TestLigloRingSmoke' ./cmd/liglo/
 
 # Machine-readable benchmark report: every simulated figure (including
 # the flood-vs-qroute traffic comparison and the churn-at-scale run
@@ -83,6 +86,13 @@ adminsmoke:
 BENCHJSON ?= BENCH_PR9.json
 bench:
 	$(GO) run ./cmd/bpbench -fig all -json $(BENCHJSON)
+
+# The T4 chord-vs-flood-vs-BPR comparison (static wire-frame run plus
+# the churn trace), as committed in BENCH_PR10.json and uploaded as a
+# CI artifact.
+DHTJSON ?= BENCH_PR10.json
+dhtbench:
+	$(GO) run ./cmd/bpbench -fig dht -json $(DHTJSON)
 
 # Bounded race-enabled churn soak: a live 8-node fleet under kill/restart
 # churn with queries flowing, asserting post-churn recall recovery and

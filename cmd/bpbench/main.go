@@ -63,7 +63,7 @@ func runLive(seed int64, report *bench.Report) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 5a, 5b, 5c, 6, 7, 8a, 8b, ablations, convergence, traffic, churn")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 5a, 5b, 5c, 6, 7, 8a, 8b, ablations, convergence, traffic, churn, dht")
 	seed := flag.Int64("seed", 1, "workload seed")
 	live := flag.Bool("live", false, "also run a miniature live-stack comparison")
 	jsonPath := flag.String("json", "", "also write a machine-readable report (e.g. BENCH_1.json)")
@@ -93,6 +93,26 @@ func main() {
 			fmt.Printf("churn %-6s mean recall %.3f, post-burst min %.3f, reconverged in %d rounds, %d msgs, %d repairs, cache %d/%d\n",
 				sr.Scheme, sr.MeanRecall, sr.PostBurstMinRecall,
 				sr.RepairConvergenceRounds, sr.Msgs, sr.Repairs, sr.CacheHits, sr.CacheLookups)
+		}
+		fmt.Println()
+	}
+
+	// runDHT renders the chord-vs-flood-vs-BPR comparison (T4) and
+	// records the full static and churn breakdown in the report.
+	runDHT := func() {
+		figs, res := bench.FigDHT(bench.DefaultDHTParams(), *seed)
+		for _, f := range figs {
+			run(f)
+		}
+		report.DHT = res
+		for _, sr := range res.Static {
+			fmt.Printf("dht %-6s %-8s recall %.3f, mean hops %.2f, %d msgs, %d bytes (%d lookups)\n",
+				sr.Scheme, sr.Workload, sr.Recall, sr.MeanHops, sr.Msgs, sr.Bytes, sr.Lookups)
+		}
+		fmt.Printf("dht hop bound: ceil(log2 %d)+1 = %d\n", res.Nodes, res.HopBound)
+		for _, sr := range res.Churn {
+			fmt.Printf("dht churn %-6s mean recall %.3f, post-burst min %.3f, reconverged in %d rounds, %d msgs\n",
+				sr.Scheme, sr.MeanRecall, sr.PostBurstMinRecall, sr.RepairConvergenceRounds, sr.Msgs)
 		}
 		fmt.Println()
 	}
@@ -142,6 +162,8 @@ func main() {
 		runTraffic()
 	case "churn":
 		runChurn()
+	case "dht":
+		runDHT()
 	default:
 		fmt.Fprintf(os.Stderr, "bpbench: unknown figure %q\n", *fig)
 		flag.Usage()

@@ -6,7 +6,15 @@
 // Usage:
 //
 //	liglo [-addr host:port] [-capacity N] [-peers N] [-probe 30s]
+//	      [-ring] [-join host:port] [-succ N]
 //	      [-admin 127.0.0.1:9091] [-log-level info]
+//
+// With -ring the server becomes one member of a Chord ring of LIGLO
+// servers that partitions BPID resolution by key ownership: -join
+// attaches to an existing member (empty creates a fresh ring) and -succ
+// sets the successor-list length, which is also the replication factor
+// for member records. Clients follow ring-redirect replies
+// transparently.
 package main
 
 import (
@@ -29,9 +37,15 @@ func main() {
 	capacity := flag.Int("capacity", 0, "maximum members (0 = unlimited)")
 	peers := flag.Int("peers", 5, "initial direct peers handed to a new registrant")
 	probe := flag.Duration("probe", 30*time.Second, "liveness validation interval (0 disables)")
+	ring := flag.Bool("ring", false, "join a Chord ring of LIGLO servers partitioning BPID resolution")
+	join := flag.String("join", "", "existing ring member to attach to (requires -ring; empty creates a fresh ring)")
+	succ := flag.Int("succ", 0, "ring successor-list length / record replication factor (0 = chord default)")
 	admin := flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /events, pprof) on this address; ':port' binds loopback only; empty disables")
 	logLevel := flag.String("log-level", "", "mirror member-liveness events to stderr at this level: debug, info, warn, error; empty disables")
 	flag.Parse()
+	if *join != "" && !*ring {
+		log.Fatalf("liglo: -join requires -ring")
+	}
 
 	logger, err := newLogger(*logLevel)
 	if err != nil {
@@ -43,18 +57,29 @@ func main() {
 		journal.SetLogger(logger)
 	}
 
-	srv, err := liglo.NewServer(transport.TCP{}, *addr, liglo.ServerConfig{
+	cfg := liglo.ServerConfig{
 		Capacity:      *capacity,
 		InitialPeers:  *peers,
 		ProbeInterval: *probe,
 		Metrics:       reg,
 		Journal:       journal,
-	})
+	}
+	if *ring {
+		cfg.Ring = &liglo.RingConfig{Join: *join, Successors: *succ}
+	}
+	srv, err := liglo.NewServer(transport.TCP{}, *addr, cfg)
 	if err != nil {
 		log.Fatalf("liglo: %v", err)
 	}
 	log.Printf("liglo: serving on %s (capacity=%d, initial peers=%d)",
 		srv.Addr(), *capacity, *peers)
+	if rn := srv.Ring(); rn != nil {
+		if *join == "" {
+			log.Printf("liglo: created ring at key %d", rn.Snapshot().Self.Key)
+		} else {
+			log.Printf("liglo: joined ring via %s at key %d", *join, rn.Snapshot().Self.Key)
+		}
+	}
 	journal.SetNode(srv.Addr())
 
 	if *admin != "" {
@@ -62,7 +87,12 @@ func main() {
 			Registry: reg,
 			Journal:  journal,
 			Health: func() any {
-				return map[string]any{"status": "ok", "addr": srv.Addr(), "members": srv.Members()}
+				h := map[string]any{"status": "ok", "addr": srv.Addr(), "members": srv.Members()}
+				if rn := srv.Ring(); rn != nil {
+					h["ring"] = rn.Snapshot()
+					h["foreign_records"] = srv.ForeignRecords()
+				}
+				return h
 			},
 		})
 		if err != nil {
@@ -75,6 +105,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("liglo: shutting down with %d members", srv.Members())
+	if srv.Ring() != nil {
+		// Graceful exit from the ring: replicate the record set and
+		// hand the arc to the successor before going dark.
+		if err := srv.Leave(); err != nil {
+			log.Fatalf("liglo: leave: %v", err)
+		}
+		return
+	}
 	if err := srv.Close(); err != nil {
 		log.Fatalf("liglo: close: %v", err)
 	}

@@ -24,6 +24,9 @@ type Report struct {
 	// Churn holds the churn-at-scale recall/repair comparison when the
 	// churn figure was requested.
 	Churn *ChurnResult `json:"churn,omitempty"`
+	// DHT holds the chord-vs-flood-vs-BPR comparison when the dht
+	// figure was requested.
+	DHT *DHTResult `json:"dht,omitempty"`
 }
 
 // SchemeRun is one strategy's live-stack run.

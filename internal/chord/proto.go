@@ -1,0 +1,272 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+
+	"bestpeer/internal/wire"
+)
+
+// ErrBadMessage reports a malformed chord-protocol payload.
+var ErrBadMessage = errors.New("chord: malformed message")
+
+// Payload versions this build emits. Every chord body leads with its
+// version so fields can grow without new message kinds: decoders accept
+// newer versions, tolerating trailing bytes they do not understand, and
+// reject only truncated input (the Depart precedent in internal/core).
+const (
+	chordLookupVersion = 1
+	chordNotifyVersion = 1
+	chordProbeVersion  = 1
+)
+
+// maxRefs bounds decoded NodeRef lists so a corrupt length prefix cannot
+// trigger a giant allocation; no real successor list approaches it.
+const maxRefs = 1024
+
+// LookupEnvelope frames a lookup for k exactly as a live node forwards
+// it — the bench harness routes these through its simulated network so
+// message and byte counts reflect real wire frames.
+func LookupEnvelope(k Key, hops int) *wire.Envelope {
+	return &wire.Envelope{
+		Kind: wire.KindChordLookup, ID: wire.NewMsgID(), TTL: 1,
+		Body: encodeLookupReq(&lookupReq{Version: chordLookupVersion, Key: k, Hops: uint64(hops)}),
+	}
+}
+
+// LookupOKEnvelope frames the owner reply to a lookup, as sent on the
+// live wire.
+func LookupOKEnvelope(owner NodeRef, hops int) *wire.Envelope {
+	return &wire.Envelope{
+		Kind: wire.KindChordLookupOK, ID: wire.NewMsgID(), TTL: 1,
+		Body: encodeLookupOK(&lookupOK{Version: chordLookupVersion, Owner: owner, Hops: uint64(hops)}),
+	}
+}
+
+func encodeNodeRef(e *wire.Encoder, r NodeRef) {
+	e.Uvarint(uint64(r.Key))
+	e.String(r.Addr)
+}
+
+func decodeNodeRef(d *wire.Decoder) NodeRef {
+	return NodeRef{Key: Key(d.Uvarint()), Addr: d.String()}
+}
+
+// lookupReq asks for the owner of a key (KindChordLookup). Hops counts
+// forwarding steps already taken, bounding recursive routing.
+type lookupReq struct {
+	Version uint64
+	Key     Key
+	Hops    uint64
+}
+
+func encodeLookupReq(m *lookupReq) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	e.Uvarint(uint64(m.Key))
+	e.Uvarint(m.Hops)
+	return e.Bytes()
+}
+
+func decodeLookupReq(b []byte) (*lookupReq, error) {
+	d := wire.NewDecoder(b)
+	m := &lookupReq{Version: d.Uvarint()}
+	m.Key = Key(d.Uvarint())
+	m.Hops = d.Uvarint()
+	if m.Version > chordLookupVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: lookup-req: %v", ErrBadMessage, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: lookup-req: %v", ErrBadMessage, err)
+	}
+	return m, nil
+}
+
+// lookupOK answers a lookup (KindChordLookupOK): the owning node and the
+// total hops the request travelled.
+type lookupOK struct {
+	Version uint64
+	Err     string
+	Owner   NodeRef
+	Hops    uint64
+}
+
+func encodeLookupOK(m *lookupOK) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	e.String(m.Err)
+	encodeNodeRef(&e, m.Owner)
+	e.Uvarint(m.Hops)
+	return e.Bytes()
+}
+
+func decodeLookupOK(b []byte) (*lookupOK, error) {
+	d := wire.NewDecoder(b)
+	m := &lookupOK{Version: d.Uvarint()}
+	m.Err = d.String()
+	m.Owner = decodeNodeRef(d)
+	m.Hops = d.Uvarint()
+	if m.Version > chordLookupVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: lookup-ok: %v", ErrBadMessage, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: lookup-ok: %v", ErrBadMessage, err)
+	}
+	return m, nil
+}
+
+// notifyMsg is the stabilize notify (KindChordNotify): Self tells the
+// receiver it may be its predecessor. With Leaving set it is instead the
+// graceful-leave handoff — Self is departing and Repl (its other
+// neighbor) is the receiver's replacement candidate.
+type notifyMsg struct {
+	Version uint64
+	Self    NodeRef
+	Leaving bool
+	Repl    NodeRef
+}
+
+func encodeNotifyMsg(m *notifyMsg) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	encodeNodeRef(&e, m.Self)
+	e.Bool(m.Leaving)
+	encodeNodeRef(&e, m.Repl)
+	return e.Bytes()
+}
+
+func decodeNotifyMsg(b []byte) (*notifyMsg, error) {
+	d := wire.NewDecoder(b)
+	m := &notifyMsg{Version: d.Uvarint()}
+	m.Self = decodeNodeRef(d)
+	m.Leaving = d.Bool()
+	m.Repl = decodeNodeRef(d)
+	if m.Version > chordNotifyVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: notify: %v", ErrBadMessage, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: notify: %v", ErrBadMessage, err)
+	}
+	return m, nil
+}
+
+// notifyOK acknowledges a notify (KindChordNotifyOK).
+type notifyOK struct {
+	Version uint64
+	Err     string
+}
+
+func encodeNotifyOK(m *notifyOK) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	e.String(m.Err)
+	return e.Bytes()
+}
+
+func decodeNotifyOK(b []byte) (*notifyOK, error) {
+	d := wire.NewDecoder(b)
+	m := &notifyOK{Version: d.Uvarint()}
+	m.Err = d.String()
+	if m.Version > chordNotifyVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: notify-ok: %v", ErrBadMessage, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: notify-ok: %v", ErrBadMessage, err)
+	}
+	return m, nil
+}
+
+// probeReq asks a node for its neighbors (KindChordProbe) — the
+// stabilize and finger-maintenance probe, doubling as a liveness check.
+// From lets the probed node learn about the prober for free.
+type probeReq struct {
+	Version uint64
+	From    NodeRef
+}
+
+func encodeProbeReq(m *probeReq) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	encodeNodeRef(&e, m.From)
+	return e.Bytes()
+}
+
+func decodeProbeReq(b []byte) (*probeReq, error) {
+	d := wire.NewDecoder(b)
+	m := &probeReq{Version: d.Uvarint()}
+	m.From = decodeNodeRef(d)
+	if m.Version > chordProbeVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: probe: %v", ErrBadMessage, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: probe: %v", ErrBadMessage, err)
+	}
+	return m, nil
+}
+
+// probeOK is the probe reply (KindChordProbeOK): the probed node's
+// identity, predecessor (when known) and successor list — everything
+// stabilization needs in one round trip.
+type probeOK struct {
+	Version uint64
+	Err     string
+	Self    NodeRef
+	HasPred bool
+	Pred    NodeRef
+	Succs   []NodeRef
+}
+
+func encodeProbeOK(m *probeOK) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	e.String(m.Err)
+	encodeNodeRef(&e, m.Self)
+	e.Bool(m.HasPred)
+	encodeNodeRef(&e, m.Pred)
+	e.Uvarint(uint64(len(m.Succs)))
+	for _, r := range m.Succs {
+		encodeNodeRef(&e, r)
+	}
+	return e.Bytes()
+}
+
+func decodeProbeOK(b []byte) (*probeOK, error) {
+	d := wire.NewDecoder(b)
+	m := &probeOK{Version: d.Uvarint()}
+	m.Err = d.String()
+	m.Self = decodeNodeRef(d)
+	m.HasPred = d.Bool()
+	m.Pred = decodeNodeRef(d)
+	n := d.Uvarint()
+	if n > maxRefs {
+		return nil, fmt.Errorf("%w: probe-ok: %d successors", ErrBadMessage, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		m.Succs = append(m.Succs, decodeNodeRef(d))
+	}
+	if m.Version > chordProbeVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: probe-ok: %v", ErrBadMessage, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: probe-ok: %v", ErrBadMessage, err)
+	}
+	return m, nil
+}

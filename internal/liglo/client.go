@@ -35,6 +35,12 @@ type ClientOptions struct {
 	// to. Nil means a private registry; a node shares its own registry
 	// here so LIGLO traffic shows up on /metrics.
 	Metrics *obs.Registry
+	// RingServers are fallback contact points for ring-mode deployments.
+	// When a BPID's issuing server is unreachable, lookups, rejoins and
+	// deregisters retry through these servers and transparently follow
+	// ring redirects to whichever member now owns the key. Empty keeps
+	// classic single-home behaviour.
+	RingServers []string
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -143,6 +149,53 @@ func (c *Client) call(op, server string, req *wire.Envelope) (*wire.Envelope, er
 	return resp, err
 }
 
+// maxRedirects bounds how many ring redirects one logical call follows —
+// a converging ring answers in one hop; more than a few means the ring's
+// ownership view is still settling and the caller should back off.
+const maxRedirects = 4
+
+// callRing performs one logical exchange against a ring of servers: try
+// the primary, fall back to RingServers on transport failure, and follow
+// KindRingRedirect replies to the owning server. Outside ring mode (no
+// RingServers, no redirect replies) it behaves exactly like call.
+func (c *Client) callRing(op, primary string, req *wire.Envelope) (*wire.Envelope, error) {
+	queue := make([]string, 0, 1+len(c.opts.RingServers))
+	queue = append(queue, primary)
+	for _, s := range c.opts.RingServers {
+		if s != primary {
+			queue = append(queue, s)
+		}
+	}
+	var lastErr error
+	redirects := 0
+	for len(queue) > 0 {
+		target := queue[0]
+		queue = queue[1:]
+		resp, err := c.call(op, target, req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Kind == wire.KindRingRedirect {
+			m, derr := decodeRedirectMsg(resp.Body)
+			if derr != nil {
+				return nil, derr
+			}
+			lastErr = fmt.Errorf("liglo: %s redirected to %s", op, m.Addr)
+			if redirects < maxRedirects && m.Addr != target {
+				redirects++
+				queue = append([]string{m.Addr}, queue...)
+			}
+			continue
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("liglo: no servers reachable")
+	}
+	return nil, lastErr
+}
+
 func (c *Client) callOnce(server string, req *wire.Envelope) (*wire.Envelope, error) {
 	conn, err := transport.DialTimeout(c.network, server, c.opts.DialTimeout)
 	if err != nil {
@@ -249,7 +302,7 @@ func (c *Client) rejoinOnce(id wire.BPID, myAddr string) error {
 		TTL:  1,
 		Body: encodeRejoinReq(&rejoinReq{ID: id, Addr: myAddr}),
 	}
-	resp, err := c.call("rejoin", id.LIGLO, req)
+	resp, err := c.callRing("rejoin", id.LIGLO, req)
 	if err != nil {
 		return err
 	}
@@ -298,7 +351,7 @@ func (c *Client) deregisterOnce(id wire.BPID) error {
 		TTL:  1,
 		Body: encodeDeregisterReq(&deregisterReq{ID: id}),
 	}
-	resp, err := c.call("deregister", id.LIGLO, req)
+	resp, err := c.callRing("deregister", id.LIGLO, req)
 	if err != nil {
 		return err
 	}
@@ -327,7 +380,7 @@ func (c *Client) Lookup(id wire.BPID) (addr string, online bool, err error) {
 		TTL:  1,
 		Body: encodeLookupReq(&lookupReq{ID: id}),
 	}
-	resp, err := c.call("lookup", id.LIGLO, req)
+	resp, err := c.callRing("lookup", id.LIGLO, req)
 	if err != nil {
 		return "", false, err
 	}

@@ -1,0 +1,110 @@
+package liglo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"bestpeer/internal/wire"
+)
+
+// Selector bytes prefixing FuzzRingCodecs inputs: which decoder the
+// remaining bytes are fed to.
+const (
+	fzRedirectMsg = iota
+	fzReplicateMsg
+	fzReplicateOK
+)
+
+// ringSeeds are the committed corpus inputs, one per ring wire kind, at
+// the current payload version. TestWriteRingCorpusSeeds regenerates the
+// files under testdata/fuzz/FuzzRingCodecs from this table.
+func ringSeeds() map[string][]byte {
+	sel := func(which byte, body []byte) []byte {
+		return append([]byte{which}, body...)
+	}
+	return map[string][]byte{
+		"redirectmsg-v1": sel(fzRedirectMsg, encodeRedirectMsg(&redirectMsg{
+			Version: ringRedirectVersion, Addr: "liglo-2", Key: 0xDEADBEEF})),
+		"replicatemsg-v1": sel(fzReplicateMsg, encodeReplicateMsg(&replicateMsg{
+			Version: ringReplicateVersion, From: "liglo-1",
+			Records: []RingRecord{
+				{ID: wire.BPID{LIGLO: "liglo-1", Node: 1}, Addr: "n1:100", Online: true},
+				{ID: wire.BPID{LIGLO: "liglo-1", Node: 2}, Addr: "n2:100", Departed: true},
+			}})),
+		"replicateok-v1": sel(fzReplicateOK, encodeReplicateOK(&replicateOK{
+			Version: ringReplicateVersion})),
+	}
+}
+
+// FuzzRingCodecs: arbitrary bytes through every ring payload decoder
+// must never panic, and every accepted payload must re-encode to a
+// decodable equivalent.
+func FuzzRingCodecs(f *testing.F) {
+	for _, seed := range ringSeeds() {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{fzReplicateMsg, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		body := data[1:]
+		switch data[0] % 3 {
+		case fzRedirectMsg:
+			m, err := decodeRedirectMsg(body)
+			if err != nil {
+				return
+			}
+			back, err := decodeRedirectMsg(encodeRedirectMsg(m))
+			if err != nil || back.Addr != m.Addr || back.Key != m.Key {
+				t.Fatalf("redirectMsg round trip: %+v %v", back, err)
+			}
+		case fzReplicateMsg:
+			m, err := decodeReplicateMsg(body)
+			if err != nil {
+				return
+			}
+			back, err := decodeReplicateMsg(encodeReplicateMsg(m))
+			if err != nil || back.From != m.From || len(back.Records) != len(m.Records) {
+				t.Fatalf("replicateMsg round trip: %+v %v", back, err)
+			}
+			for i := range m.Records {
+				if back.Records[i] != m.Records[i] {
+					t.Fatalf("replicateMsg record %d: %+v != %+v", i, back.Records[i], m.Records[i])
+				}
+			}
+		case fzReplicateOK:
+			m, err := decodeReplicateOK(body)
+			if err != nil {
+				return
+			}
+			back, err := decodeReplicateOK(encodeReplicateOK(m))
+			if err != nil || back.Err != m.Err {
+				t.Fatalf("replicateOK round trip: %+v %v", back, err)
+			}
+		}
+	})
+}
+
+// TestWriteRingCorpusSeeds regenerates the committed corpus files from
+// ringSeeds. Run with LIGLO_WRITE_SEEDS=1 after changing a codec.
+func TestWriteRingCorpusSeeds(t *testing.T) {
+	if os.Getenv("LIGLO_WRITE_SEEDS") == "" {
+		t.Skip("seed writer; set LIGLO_WRITE_SEEDS=1 to regenerate testdata")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzRingCodecs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, seed := range ringSeeds() {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package liglo
+
+import (
+	"fmt"
+
+	"bestpeer/internal/wire"
+)
+
+// Ring-mode payload versions this build emits. Both bodies lead with a
+// version field so they can grow without new kinds: decoders tolerate
+// trailing bytes from newer senders (the Depart precedent).
+const (
+	ringRedirectVersion  = 1
+	ringReplicateVersion = 1
+)
+
+// maxRingRecords bounds a decoded replication batch.
+const maxRingRecords = 1 << 16
+
+// redirectMsg (KindRingRedirect) answers a request for a BPID whose ring
+// key this server does not own: retry at Addr, the owning server.
+type redirectMsg struct {
+	Version uint64
+	Addr    string // the owning server
+	Key     uint64 // the BPID's ring position, for diagnostics
+}
+
+func encodeRedirectMsg(m *redirectMsg) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	e.String(m.Addr)
+	e.Uvarint(m.Key)
+	return e.Bytes()
+}
+
+func decodeRedirectMsg(b []byte) (*redirectMsg, error) {
+	d := wire.NewDecoder(b)
+	m := &redirectMsg{Version: d.Uvarint()}
+	m.Addr = d.String()
+	m.Key = d.Uvarint()
+	if m.Version > ringRedirectVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: redirect: %v", ErrBadRequest, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: redirect: %v", ErrBadRequest, err)
+	}
+	return m, nil
+}
+
+// RingRecord is one replicated member entry: the full resolution state a
+// successor needs to serve lookups for a BPID when its issuer is gone.
+type RingRecord struct {
+	ID       wire.BPID
+	Addr     string
+	Online   bool
+	Departed bool
+}
+
+func encodeRingRecord(e *wire.Encoder, r RingRecord) {
+	e.BPID(r.ID)
+	e.String(r.Addr)
+	e.Bool(r.Online)
+	e.Bool(r.Departed)
+}
+
+func decodeRingRecord(d *wire.Decoder) RingRecord {
+	return RingRecord{ID: d.BPID(), Addr: d.String(), Online: d.Bool(), Departed: d.Bool()}
+}
+
+// replicateMsg (KindRingReplicate) ships member records to a successor —
+// the successor-list replication that keeps every BPID resolvable after
+// its issuing server leaves or crashes.
+type replicateMsg struct {
+	Version uint64
+	From    string // sending server
+	Records []RingRecord
+}
+
+func encodeReplicateMsg(m *replicateMsg) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	e.String(m.From)
+	e.Uvarint(uint64(len(m.Records)))
+	for _, r := range m.Records {
+		encodeRingRecord(&e, r)
+	}
+	return e.Bytes()
+}
+
+func decodeReplicateMsg(b []byte) (*replicateMsg, error) {
+	d := wire.NewDecoder(b)
+	m := &replicateMsg{Version: d.Uvarint()}
+	m.From = d.String()
+	n := d.Uvarint()
+	if n > maxRingRecords {
+		return nil, fmt.Errorf("%w: replicate: %d records", ErrBadRequest, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		m.Records = append(m.Records, decodeRingRecord(d))
+	}
+	if m.Version > ringReplicateVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: replicate: %v", ErrBadRequest, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: replicate: %v", ErrBadRequest, err)
+	}
+	return m, nil
+}
+
+// replicateOK (KindRingReplicateOK) acknowledges a replication batch.
+type replicateOK struct {
+	Version uint64
+	Err     string
+}
+
+func encodeReplicateOK(m *replicateOK) []byte {
+	var e wire.Encoder
+	e.Uvarint(m.Version)
+	e.String(m.Err)
+	return e.Bytes()
+}
+
+func decodeReplicateOK(b []byte) (*replicateOK, error) {
+	d := wire.NewDecoder(b)
+	m := &replicateOK{Version: d.Uvarint()}
+	m.Err = d.String()
+	if m.Version > ringReplicateVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: replicate-ok: %v", ErrBadRequest, err)
+		}
+		return m, nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: replicate-ok: %v", ErrBadRequest, err)
+	}
+	return m, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"bestpeer/internal/chord"
 	"bestpeer/internal/obs"
 	"bestpeer/internal/transport"
 	"bestpeer/internal/wire"
@@ -35,6 +36,10 @@ type ServerConfig struct {
 	// Journal receives structured member-liveness events (registered,
 	// online, offline, expired). Nil disables journalling.
 	Journal *obs.Journal
+	// Ring, when non-nil, joins this server into a Chord ring of LIGLO
+	// servers that partitions BPID resolution by key ownership with
+	// successor-list replication. Nil keeps the classic standalone mode.
+	Ring *RingConfig
 }
 
 type member struct {
@@ -59,7 +64,17 @@ type Server struct {
 	mu      sync.Mutex
 	nextID  uint64
 	members map[uint64]*member
+	// foreign holds replicated records for BPIDs issued by other ring
+	// servers, keyed by BPID string. Served when this server owns the
+	// issuer's ring key.
+	foreign map[string]RingRecord
 	closed  bool
+
+	// Ring mode (nil / zero outside it).
+	ring           *chord.Node
+	replicateEvery time.Duration
+
+	metrics *obs.Registry
 
 	wg        sync.WaitGroup
 	stopProbe chan struct{}
@@ -79,6 +94,10 @@ type Server struct {
 	sweeps       *obs.Counter
 	sweepOnline  *obs.Counter
 	sweepOffline *obs.Counter
+	// Ring-mode traffic: requests redirected to the owning server and
+	// replication batches acknowledged by successors.
+	redirects    *obs.Counter
+	replications *obs.Counter
 }
 
 // ServerStats is a point-in-time snapshot of the server counters.
@@ -93,6 +112,8 @@ type ServerStats struct {
 	Sweeps       uint64
 	SweepOnline  uint64
 	SweepOffline uint64
+	Redirects    uint64
+	Replications uint64
 }
 
 // Stats snapshots the server counters.
@@ -108,6 +129,8 @@ func (s *Server) Stats() ServerStats {
 		Sweeps:       s.sweeps.Value(),
 		SweepOnline:  s.sweepOnline.Value(),
 		SweepOffline: s.sweepOffline.Value(),
+		Redirects:    s.redirects.Value(),
+		Replications: s.replications.Value(),
 	}
 }
 
@@ -139,6 +162,8 @@ func NewServer(network transport.Network, addr string, cfg ServerConfig) (*Serve
 		listener:  l,
 		cfg:       cfg,
 		members:   make(map[uint64]*member),
+		foreign:   make(map[string]RingRecord),
+		metrics:   reg,
 		stopProbe: make(chan struct{}),
 		registers: reg.Counter("bestpeer_liglo_registers_total",
 			"BPIDs issued to first-time registrants."),
@@ -158,12 +183,22 @@ func NewServer(network transport.Network, addr string, cfg ServerConfig) (*Serve
 			"Liveness sweeps completed."),
 		sweepOnline:  reg.Counter("bestpeer_liglo_sweep_members_total", sweepHelp, obs.L("outcome", "online")),
 		sweepOffline: reg.Counter("bestpeer_liglo_sweep_members_total", sweepHelp, obs.L("outcome", "offline")),
+		redirects: reg.Counter("bestpeer_liglo_ring_redirects_total",
+			"Requests redirected to the ring server owning the BPID's key."),
+		replications: reg.Counter("bestpeer_liglo_ring_replications_total",
+			"Record batches acknowledged by ring successors."),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if cfg.ProbeInterval > 0 {
 		s.wg.Add(1)
 		go s.probeLoop()
+	}
+	if cfg.Ring != nil {
+		if err := s.startRing(); err != nil {
+			_ = s.Close() // the join failure is the error worth reporting
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -248,6 +283,20 @@ func (s *Server) dispatch(req *wire.Envelope) *wire.Envelope {
 			return nil
 		}
 		return s.handleDeregister(r)
+	case wire.KindChordLookup, wire.KindChordNotify, wire.KindChordProbe:
+		if s.ring == nil {
+			return nil
+		}
+		return s.ring.HandleEnvelope(req)
+	case wire.KindRingReplicate:
+		if s.ring == nil {
+			return nil
+		}
+		m, err := decodeReplicateMsg(req.Body)
+		if err != nil {
+			return nil
+		}
+		return s.handleReplicate(m)
 	default:
 		return nil
 	}
@@ -280,7 +329,10 @@ func (s *Server) handleRegister(r *registerReq) *wire.Envelope {
 
 // peerListLocked selects up to InitialPeers online members (excluding
 // self) as the registrant's starting direct peers, preferring the most
-// recently seen. Caller holds s.mu.
+// recently seen. In ring mode the locally-issued table holds only this
+// server's registrants, so remaining slots are filled from replicated
+// foreign records — without them a fleet spread across ring servers
+// would bootstrap with zero connectivity. Caller holds s.mu.
 func (s *Server) peerListLocked(exclude uint64) []PeerInfo {
 	var online []*member
 	for _, m := range s.members {
@@ -304,15 +356,38 @@ func (s *Server) peerListLocked(exclude uint64) []PeerInfo {
 			Addr: m.addr,
 		})
 	}
+	if len(peers) < s.cfg.InitialPeers && len(s.foreign) > 0 {
+		ids := make([]string, 0, len(s.foreign))
+		for id, rec := range s.foreign {
+			if rec.Online && !rec.Departed {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if len(peers) >= s.cfg.InitialPeers {
+				break
+			}
+			rec := s.foreign[id]
+			peers = append(peers, PeerInfo{ID: rec.ID, Addr: rec.Addr})
+		}
+	}
 	return peers
 }
 
 func (s *Server) handleRejoin(r *rejoinReq) *wire.Envelope {
+	where, owner, key, err := s.routeID(r.ID)
+	if err != nil {
+		return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{Err: err.Error()}))
+	}
+	switch where {
+	case routeForeign:
+		return s.foreignRejoin(r)
+	case routeRedirect:
+		return s.redirectReply("rejoin", owner, key)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if r.ID.LIGLO != s.Addr() {
-		return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{Err: ErrWrongHome.Error()}))
-	}
 	m, ok := s.members[r.ID.Node]
 	if !ok {
 		return reply(wire.KindLigloStatus, encodeRejoinResp(&rejoinResp{Err: ErrUnknown.Error()}))
@@ -336,11 +411,17 @@ func (s *Server) handleRejoin(r *rejoinReq) *wire.Envelope {
 // deregistered member is pinned there — its process may stay up awaiting
 // a Rejoin, and a dialable address is not consent to rejoin the overlay.
 func (s *Server) handleDeregister(r *deregisterReq) *wire.Envelope {
-	s.mu.Lock()
-	if r.ID.LIGLO != s.Addr() {
-		s.mu.Unlock()
-		return reply(wire.KindLigloStatus, encodeDeregisterResp(&deregisterResp{Err: ErrWrongHome.Error()}))
+	where, owner, key, err := s.routeID(r.ID)
+	if err != nil {
+		return reply(wire.KindLigloStatus, encodeDeregisterResp(&deregisterResp{Err: err.Error()}))
 	}
+	switch where {
+	case routeForeign:
+		return s.foreignDeregister(r)
+	case routeRedirect:
+		return s.redirectReply("deregister", owner, key)
+	}
+	s.mu.Lock()
 	m, ok := s.members[r.ID.Node]
 	if !ok {
 		s.mu.Unlock()
@@ -361,12 +442,19 @@ func (s *Server) handleDeregister(r *deregisterReq) *wire.Envelope {
 }
 
 func (s *Server) handleLookup(r *lookupReq) *wire.Envelope {
+	where, owner, key, err := s.routeID(r.ID)
+	if err != nil {
+		return reply(wire.KindLigloStatus, encodeLookupResp(&lookupResp{Err: err.Error()}))
+	}
+	switch where {
+	case routeForeign:
+		return s.foreignLookup(r)
+	case routeRedirect:
+		return s.redirectReply("lookup", owner, key)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lookups.Inc()
-	if r.ID.LIGLO != s.Addr() {
-		return reply(wire.KindLigloStatus, encodeLookupResp(&lookupResp{Err: ErrWrongHome.Error()}))
-	}
 	m, ok := s.members[r.ID.Node]
 	if !ok {
 		return reply(wire.KindLigloStatus, encodeLookupResp(&lookupResp{Found: false}))
@@ -511,6 +599,9 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.stopProbe)
+	if s.ring != nil {
+		_ = s.ring.Close() // chord Close is idempotent and never fails meaningfully
+	}
 	// Unblocks the accept loop; its own error is the shutdown signal.
 	_ = s.listener.Close()
 	s.wg.Wait()

@@ -105,6 +105,23 @@ const (
 	// its hysteresis band long enough to clear. Same provenance fields as
 	// EvAlertRaised.
 	EvAlertCleared EventKind = "alert-cleared"
+	// EvRingJoined: a chord node entered a ring — Peer is the successor
+	// it attached to ("" when it created a fresh ring).
+	EvRingJoined EventKind = "ring-joined"
+	// EvRingLeft: a chord node left its ring (Reason: "leave" for a
+	// graceful departure, "close" for a plain shutdown).
+	EvRingLeft EventKind = "ring-left"
+	// EvRingNeighborChanged: stabilization moved a ring neighbor; Reason
+	// is which slot ("successor", "predecessor"), Peer the new occupant
+	// ("" when the slot was vacated).
+	EvRingNeighborChanged EventKind = "ring-neighbor-changed"
+	// EvRingRedirected: a ring-mode LIGLO server answered a request for a
+	// key it does not own with the owner's address; Peer is the owner,
+	// Reason the operation ("lookup", "rejoin", "deregister").
+	EvRingRedirected EventKind = "ring-redirected"
+	// EvRingReplicated: a ring-mode LIGLO server shipped member records
+	// to a successor; Peer is the target, Count how many records.
+	EvRingReplicated EventKind = "ring-replicated"
 )
 
 // Kinds is the complete event-kind registry; the eventdrift analyzer
@@ -136,6 +153,11 @@ var Kinds = []EventKind{
 	EvMemberDeregistered,
 	EvAlertRaised,
 	EvAlertCleared,
+	EvRingJoined,
+	EvRingLeft,
+	EvRingNeighborChanged,
+	EvRingRedirected,
+	EvRingReplicated,
 }
 
 // PeerScore is one candidate's line in a reconfiguration decision: the

@@ -52,6 +52,21 @@ const (
 	KindPeerListOK      // peer list reply (neighbor-of-neighbor candidates)
 	KindLigloDeregister // graceful-leave announcement to the home LIGLO
 
+	// Chord DHT protocol (internal/chord): ring maintenance plus
+	// recursive key lookup. Every body leads with a version field, so
+	// payloads can grow without new kinds.
+	KindChordLookup   // find-successor request, forwarded recursively
+	KindChordLookupOK // lookup answer: the key's owning node
+	KindChordNotify   // stabilize notify, also the graceful-leave handoff
+	KindChordNotifyOK // notify acknowledgement
+	KindChordProbe    // finger/neighbor probe: liveness plus topology
+	KindChordProbeOK  // probe reply: predecessor and successor list
+
+	// LIGLO ring mode: Chord-partitioned BPID resolution.
+	KindRingRedirect    // the server does not own the key; retry at Owner
+	KindRingReplicate   // member-record replication to a successor
+	KindRingReplicateOK // replication acknowledgement
+
 	kindSentinel // keep last
 )
 
@@ -84,6 +99,15 @@ var kindNames = [...]string{
 	KindPeerList:        "peer-list",
 	KindPeerListOK:      "peer-list-ok",
 	KindLigloDeregister: "liglo-deregister",
+	KindChordLookup:     "chord-lookup",
+	KindChordLookupOK:   "chord-lookup-ok",
+	KindChordNotify:     "chord-notify",
+	KindChordNotifyOK:   "chord-notify-ok",
+	KindChordProbe:      "chord-probe",
+	KindChordProbeOK:    "chord-probe-ok",
+	KindRingRedirect:    "ring-redirect",
+	KindRingReplicate:   "ring-replicate",
+	KindRingReplicateOK: "ring-replicate-ok",
 }
 
 // String returns the symbolic name of the kind.
